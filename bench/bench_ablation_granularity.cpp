@@ -1,0 +1,107 @@
+// Ablation (design choice): fluid frame-level recursion vs cell-granularity
+// event simulation.
+//
+// Every headline simulation uses the fluid recursion (exact for
+// deterministic smoothing with constant within-frame rates); this ablation
+// validates that modelling choice against the 53-byte-granular simulator on
+// a shared workload, at several buffer sizes and utilisations.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cts/fit/model_zoo.hpp"
+#include "cts/proc/gaussian_quantizer.hpp"
+#include "cts/sim/cell_mux.hpp"
+#include "cts/sim/fluid_mux.hpp"
+#include "cts/util/table.hpp"
+
+namespace cf = cts::fit;
+namespace cm = cts::sim;
+namespace cp = cts::proc;
+namespace cu = cts::util;
+
+namespace {
+
+struct Comparison {
+  double fluid_clr = 0.0;
+  double cell_clr = 0.0;
+};
+
+Comparison compare(double capacity_per_source, double buffer_cells,
+                   std::uint64_t frames, std::uint64_t seed) {
+  const cf::ModelSpec model = cf::make_dar_matched_to_za(0.975, 1);
+  const int n = 10;
+
+  auto build_sources = [&]() {
+    std::vector<std::unique_ptr<cp::FrameSource>> sources;
+    for (int i = 0; i < n; ++i) {
+      sources.push_back(std::make_unique<cp::GaussianQuantizer>(
+          model.make_source(seed + static_cast<std::uint64_t>(i))));
+    }
+    return sources;
+  };
+
+  Comparison out;
+  {
+    auto sources = build_sources();
+    cm::FluidRunConfig config;
+    config.frames = frames;
+    config.warmup_frames = 200;
+    config.capacity_cells = n * capacity_per_source;
+    config.buffer_sizes_cells = {buffer_cells};
+    const cm::FluidRunResult r = cm::FluidMux::run(sources, config);
+    out.fluid_clr = r.clr[0].clr(r.arrived_cells);
+  }
+  {
+    auto sources = build_sources();
+    cm::CellRunConfig config;
+    config.frames = frames;
+    config.warmup_frames = 200;
+    config.capacity_cells =
+        static_cast<std::uint64_t>(n * capacity_per_source);
+    config.buffer_cells = static_cast<std::uint64_t>(buffer_cells);
+    const cm::CellRunResult r = cm::CellMux::run(sources, config);
+    out.cell_clr = r.clr();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cu::Flags flags(argc, argv);
+  bench::banner(
+      "Ablation: fluid frame-level recursion vs 53-byte cell-granular "
+      "simulation (DAR(1)~Z^0.975, N = 10, shared seeds)");
+  cu::CsvWriter csv({"c_per_source", "buffer_cells", "fluid_clr",
+                     "cell_clr"});
+  const std::uint64_t frames =
+      static_cast<std::uint64_t>(flags.get_int("frames", 15000));
+
+  cu::TextTable table({"c/src", "buffer (cells)", "log10 fluid CLR",
+                       "log10 cell CLR", "gap (dec)"});
+  for (const double c : {515.0, 525.0}) {
+    for (const double b : {200.0, 800.0, 2400.0}) {
+      const Comparison cmp = compare(c, b, frames, 9000);
+      const double lf =
+          cmp.fluid_clr > 0 ? std::log10(cmp.fluid_clr) : -99.0;
+      const double lc = cmp.cell_clr > 0 ? std::log10(cmp.cell_clr) : -99.0;
+      table.add_row({cu::format_fixed(c, 0), cu::format_fixed(b, 0),
+                     bench::log10_or_floor(cmp.fluid_clr),
+                     bench::log10_or_floor(cmp.cell_clr),
+                     (lf > -99 && lc > -99) ? cu::format_fixed(lc - lf, 2)
+                                            : "-"});
+      csv.add_row({cu::format_fixed(c, 1), cu::format_fixed(b, 1),
+                   cu::format_sci(cmp.fluid_clr, 4),
+                   cu::format_sci(cmp.cell_clr, 4)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "expected shape: the two columns agree within a fraction of a decade "
+      "wherever both resolve;\nthe fluid recursion slightly underestimates "
+      "loss (sub-frame jitter is smoothed away).\n");
+  bench::maybe_write_csv(flags, csv, "ablation_granularity.csv");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation (Section 6.1): effect of the frame-size MARGINAL on cell loss.
+//
+// The paper pins all models to one Gaussian marginal and argues (6.1) that
+// heavier-tailed marginals with the same mean/variance would not change the
+// conclusions once bandwidth is dimensioned for them.  This ablation runs
+// the same DAR(1) correlation structure under (a) the Gaussian marginal and
+// (b) a negative binomial marginal (Heyman & Lakshman's choice) with
+// identical moments, and prints simulated CLR side by side.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cts/fit/model_zoo.hpp"
+#include "cts/util/table.hpp"
+
+namespace cf = cts::fit;
+namespace cm = cts::sim;
+namespace cu = cts::util;
+
+int main(int argc, char** argv) {
+  const cu::Flags flags(argc, argv);
+  bench::banner(
+      "Ablation: Gaussian vs negative-binomial marginal (same moments, "
+      "same DAR(1) correlations)");
+  cu::CsvWriter csv({"buffer_ms", "marginal", "clr"});
+
+  cm::MuxGeometry g;
+  g.n_sources = 30;
+  g.bandwidth_per_source = 520.0;  // utilisation where CLRs resolve quickly
+  g.Ts = 0.04;
+  const cm::ReplicationConfig scale = bench::bench_scale();
+  const std::vector<double> grid = {1e-6, 2.0, 6.0, 12.0, 20.0};
+
+  const cf::ModelSpec gauss = cf::make_dar_matched_to_za(0.975, 1);
+  const cf::ModelSpec negbin = cf::make_dar_negbinom(0.975, 1);
+
+  const cm::SimulatedCurve cg =
+      cm::simulated_clr_curve(gauss, g, grid, scale);
+  const cm::SimulatedCurve cn =
+      cm::simulated_clr_curve(negbin, g, grid, scale);
+
+  cu::TextTable table({"B (msec)", "log10 CLR gaussian", "log10 CLR negbinom",
+                       "gap (decades)"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const double lg = cg.clr[i] > 0 ? std::log10(cg.clr[i]) : -99;
+    const double ln = cn.clr[i] > 0 ? std::log10(cn.clr[i]) : -99;
+    table.add_row({cu::format_fixed(grid[i], 1),
+                   bench::log10_or_floor(cg.clr[i]),
+                   bench::log10_or_floor(cn.clr[i]),
+                   (lg > -99 && ln > -99) ? cu::format_fixed(ln - lg, 2)
+                                          : "-"});
+    csv.add_row({cu::format_fixed(grid[i], 2), "gaussian",
+                 cu::format_sci(cg.clr[i], 4)});
+    csv.add_row({cu::format_fixed(grid[i], 2), "negbinom",
+                 cu::format_sci(cn.clr[i], 4)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "expected shape: identical CLR at B = 0 (matched moments); the NB "
+      "tail lifts the CLR by a gap that grows\nwith buffer but stays ~1 "
+      "decade inside the practical box -- small against the 6+ decades the "
+      "correlation\nstructure moves (Fig. 5b), supporting Section 6.1's "
+      "argument that re-dimensioning bandwidth for the\nheavier marginal "
+      "restores the paper's conclusions.\n");
+  bench::maybe_write_csv(flags, csv, "ablation_marginal.csv");
+  return 0;
+}

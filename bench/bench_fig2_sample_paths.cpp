@@ -1,0 +1,89 @@
+// Figure 2: sample paths of Z^0.7 versus its matched DAR(1), N = 10
+// sources multiplexed.  The text rendering prints coarse-grained aggregate
+// rate series plus the diagnostics that make the paper's point visible in
+// numbers: the two processes share marginal moments and lag-1 correlation,
+// but only Z^0.7 carries Hurst > 0.5 ("bursts within bursts").
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cts/fit/model_zoo.hpp"
+#include "cts/stats/acf.hpp"
+#include "cts/stats/hurst.hpp"
+#include "cts/util/table.hpp"
+
+namespace cf = cts::fit;
+namespace cs = cts::stats;
+namespace cu = cts::util;
+
+namespace {
+
+std::vector<double> aggregate_path(const cf::ModelSpec& model,
+                                   std::size_t n_sources, std::size_t frames,
+                                   std::uint64_t seed) {
+  std::vector<std::unique_ptr<cts::proc::FrameSource>> sources;
+  for (std::size_t s = 0; s < n_sources; ++s) {
+    sources.push_back(model.make_source(seed + s));
+  }
+  std::vector<double> path(frames, 0.0);
+  for (std::size_t t = 0; t < frames; ++t) {
+    for (auto& src : sources) path[t] += src->next_frame();
+  }
+  return path;
+}
+
+void describe(const std::string& name, const std::vector<double>& path) {
+  const std::vector<double> r = cs::autocorrelation(path, 5);
+  const cs::HurstEstimate vt = cs::hurst_variance_time(path);
+  const cs::HurstEstimate rs = cs::hurst_rescaled_range(path);
+  std::printf(
+      "%-22s mean=%8.1f  stddev=%7.1f  r(1)=%6.3f  H_vt=%5.3f  H_rs=%5.3f\n",
+      name.c_str(), cs::sample_mean(path),
+      std::sqrt(cs::sample_variance(path)), r[1], vt.hurst, rs.hurst);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cu::Flags flags(argc, argv);
+  bench::banner("Figure 2: sample paths of Z^0.7 vs matched DAR(1), N = 10");
+
+  const std::size_t frames =
+      static_cast<std::size_t>(flags.get_int("frames", 65536));
+  const cf::ModelSpec z = cf::make_za(0.7);
+  const cf::ModelSpec dar = cf::make_dar_matched_to_za(0.7, 1);
+
+  const std::vector<double> z_path = aggregate_path(z, 10, frames, 42);
+  const std::vector<double> d_path = aggregate_path(dar, 10, frames, 42);
+
+  std::printf("per-frame aggregate cell counts (10 sources):\n\n");
+  describe("Z^0.7 (LRD)", z_path);
+  describe("matched DAR(1) (SRD)", d_path);
+
+  // Coarse 48-bucket rendering of the first 1920 frames, like the figure.
+  std::printf("\ncoarse sample path (mean over 40-frame bins, first %d "
+              "frames):\n\n", 48 * 40);
+  cu::TextTable table({"bin", "Z^0.7", "DAR(1)"});
+  cu::CsvWriter csv({"bin", "z", "dar"});
+  for (int bin = 0; bin < 48; ++bin) {
+    double zm = 0.0, dm = 0.0;
+    for (int i = 0; i < 40; ++i) {
+      zm += z_path[static_cast<std::size_t>(bin * 40 + i)];
+      dm += d_path[static_cast<std::size_t>(bin * 40 + i)];
+    }
+    table.add_row({cu::format_int(bin), cu::format_fixed(zm / 40.0, 0),
+                   cu::format_fixed(dm / 40.0, 0)});
+    csv.add_row({cu::format_int(bin), cu::format_fixed(zm / 40.0, 2),
+                 cu::format_fixed(dm / 40.0, 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "expected shape: matching mean/stddev/r(1); H ~ 0.5 for DAR(1), "
+      "H >> 0.5 for Z^0.7\n(low-frequency swells visible only in the Z "
+      "column).\n");
+
+  bench::maybe_write_csv(flags, csv, "fig2.csv");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 4: the Critical Time Scale m*_b versus total buffer size.
+//   (a) V^v family  -- same short-term correlations => same CTS
+//   (b) Z^a family  -- different short-term correlations => spread CTS
+// Geometry: c = 526, mu = 500, N = 100 (as in the paper).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cts/fit/model_zoo.hpp"
+#include "cts/util/table.hpp"
+
+namespace cf = cts::fit;
+namespace cm = cts::sim;
+namespace cu = cts::util;
+
+namespace {
+
+void panel(const std::string& title, const std::vector<cf::ModelSpec>& models,
+           const cm::MuxGeometry& g, const std::vector<double>& grid,
+           cu::CsvWriter& csv, const std::string& panel_id) {
+  std::printf("%s\n\n", title.c_str());
+  std::vector<std::string> headers = {"B (msec)"};
+  for (const auto& m : models) headers.push_back("m* " + m.name);
+  cu::TextTable table(std::move(headers));
+
+  std::vector<cm::AnalyticCurve> curves;
+  for (const auto& m : models) curves.push_back(cm::cts_curve(m, g, grid));
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    std::vector<std::string> row = {cu::format_fixed(grid[i], 1)};
+    for (const auto& curve : curves) {
+      row.push_back(
+          cu::format_int(static_cast<long long>(curve.critical_m[i])));
+      csv.add_row({panel_id, cu::format_fixed(grid[i], 3), curve.model,
+                   cu::format_int(static_cast<long long>(curve.critical_m[i]))});
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cu::Flags flags(argc, argv);
+  bench::banner("Figure 4: Critical Time Scale m* vs total buffer "
+                "(c = 526, N = 100)");
+  cu::CsvWriter csv({"panel", "buffer_ms", "model", "critical_m"});
+
+  const cm::MuxGeometry g = bench::paper_mux_100();
+  const std::vector<double> grid = {0.5, 1.0, 2.0, 4.0,  6.0, 8.0,
+                                    12.0, 16.0, 20.0, 25.0, 30.0};
+
+  panel("(a) V^v: same short-term correlations",
+        {cf::make_vv(0.67), cf::make_vv(1.0), cf::make_vv(1.5)}, g, grid,
+        csv, "a");
+  panel("(b) Z^a: same long-term correlations",
+        {cf::make_za(0.7), cf::make_za(0.9), cf::make_za(0.975),
+         cf::make_za(0.99)},
+        g, grid, csv, "b");
+
+  std::printf(
+      "expected shape: (a) columns nearly identical; (b) spread grows with "
+      "a (>= ~15 lags already at 2 ms);\nall columns non-decreasing, small "
+      "at small B.\n");
+  bench::maybe_write_csv(flags, csv, "fig4.csv");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 6: can parsimonious Markov models predict LRD buffer behaviour?
+// B-R BOPs of Z^a, its matched DAR(p) (p = 1, 2, 3), and the pure-LRD L,
+// over the practical buffer range (N = 30, c = 538).
+//   (a) Z^0.975 vs DAR(p) vs L
+//   (b) Z^0.7   vs DAR(p)
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cts/fit/model_zoo.hpp"
+#include "cts/util/table.hpp"
+
+namespace cf = cts::fit;
+namespace cm = cts::sim;
+namespace cu = cts::util;
+
+namespace {
+
+void panel(const std::string& title, const std::vector<cf::ModelSpec>& models,
+           const cm::MuxGeometry& g, const std::vector<double>& grid,
+           cu::CsvWriter& csv, const std::string& panel_id) {
+  std::printf("%s\n\n", title.c_str());
+  std::vector<std::string> headers = {"B (msec)"};
+  for (const auto& m : models) headers.push_back(m.name);
+  cu::TextTable table(std::move(headers));
+  std::vector<cm::AnalyticCurve> curves;
+  for (const auto& m : models) curves.push_back(cm::br_curve(m, g, grid));
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    std::vector<std::string> row = {cu::format_fixed(grid[i], 1)};
+    for (const auto& curve : curves) {
+      row.push_back(cu::format_fixed(curve.log10_bop[i], 2));
+      csv.add_row({panel_id, cu::format_fixed(grid[i], 3), curve.model,
+                   cu::format_fixed(curve.log10_bop[i], 4)});
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cu::Flags flags(argc, argv);
+  bench::banner(
+      "Figure 6: efficacy of Markov models -- B-R BOPs, log10 (N = 30, "
+      "c = 538)");
+  cu::CsvWriter csv({"panel", "buffer_ms", "model", "log10_bop"});
+
+  const cm::MuxGeometry g = bench::paper_mux_30();
+  const std::vector<double> grid = {0.5, 1.0, 2.0, 4.0, 6.0, 8.0,
+                                    12.0, 16.0, 20.0, 25.0, 30.0};
+
+  panel("(a) Z^0.975 vs matched DAR(p) and L",
+        {cf::make_za(0.975), cf::make_dar_matched_to_za(0.975, 1),
+         cf::make_dar_matched_to_za(0.975, 2),
+         cf::make_dar_matched_to_za(0.975, 3), cf::make_l()},
+        g, grid, csv, "a");
+  panel("(b) Z^0.7 vs matched DAR(p)",
+        {cf::make_za(0.7), cf::make_dar_matched_to_za(0.7, 1),
+         cf::make_dar_matched_to_za(0.7, 2),
+         cf::make_dar_matched_to_za(0.7, 3)},
+        g, grid, csv, "b");
+
+  std::printf(
+      "expected shape: DAR(p) -> Z monotonically in p; even DAR(1) beats L "
+      "throughout this range;\n(b) all curves within ~1 order at the 1e-6 "
+      "level.\n");
+  bench::maybe_write_csv(flags, csv, "fig6.csv");
+  return 0;
+}

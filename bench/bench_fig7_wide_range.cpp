@@ -1,0 +1,91 @@
+// Figure 7: the same comparison as Figure 6 but over an unrealistically
+// wide buffer range, exposing where the two "myths" come from: the L model
+// eventually wins, and the Z^a decay slope bends to match L's -- but only
+// far beyond any real-time-delay budget.  The bench also locates the
+// DAR(1)/L crossover buffer numerically.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cts/fit/model_zoo.hpp"
+#include "cts/util/table.hpp"
+
+namespace cf = cts::fit;
+namespace cm = cts::sim;
+namespace cu = cts::util;
+
+int main(int argc, char** argv) {
+  const cu::Flags flags(argc, argv);
+  bench::banner(
+      "Figure 7: wide-buffer-range BOPs, log10 (N = 30, c = 538) -- where "
+      "the myths come from");
+  cu::CsvWriter csv({"panel", "buffer_ms", "model", "log10_bop"});
+
+  const cm::MuxGeometry g = bench::paper_mux_30();
+  // Geometric grid from inside the practical box out to ~4 seconds of
+  // buffering (two+ orders beyond any real-time budget).
+  const std::vector<double> grid = cm::buffer_grid_ms(1.0, 4000.0, 13);
+
+  const std::vector<cf::ModelSpec> models_a = {
+      cf::make_za(0.975), cf::make_dar_matched_to_za(0.975, 1),
+      cf::make_dar_matched_to_za(0.975, 3), cf::make_l()};
+  const std::vector<cf::ModelSpec> models_b = {
+      cf::make_za(0.7), cf::make_dar_matched_to_za(0.7, 1),
+      cf::make_dar_matched_to_za(0.7, 3), cf::make_l()};
+
+  for (const auto& [panel_id, models] :
+       {std::pair<const char*, const std::vector<cf::ModelSpec>&>{
+            "a", models_a},
+        std::pair<const char*, const std::vector<cf::ModelSpec>&>{
+            "b", models_b}}) {
+    std::printf("(%s) %s family over 1 msec .. 4 sec\n\n", panel_id,
+                models[0].name.c_str());
+    std::vector<std::string> headers = {"B (msec)"};
+    for (const auto& m : models) headers.push_back(m.name);
+    cu::TextTable table(std::move(headers));
+    std::vector<cm::AnalyticCurve> curves;
+    for (const auto& m : models) curves.push_back(cm::br_curve(m, g, grid));
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      std::vector<std::string> row = {cu::format_fixed(grid[i], 0)};
+      for (const auto& curve : curves) {
+        row.push_back(cu::format_fixed(curve.log10_bop[i], 1));
+        csv.add_row({panel_id, cu::format_fixed(grid[i], 2), curve.model,
+                     cu::format_fixed(curve.log10_bop[i], 4)});
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  // Locate the buffer where the pure-LRD L first predicts Z^0.975 better
+  // than the matched DAR(1): the "crossover" the second myth extrapolates
+  // from.
+  const cf::ModelSpec z = cf::make_za(0.975);
+  const cf::ModelSpec dar = cf::make_dar_matched_to_za(0.975, 1);
+  const cf::ModelSpec l = cf::make_l();
+  const std::vector<double> fine = cm::buffer_grid_ms(1.0, 4000.0, 60);
+  const cm::AnalyticCurve zc = cm::br_curve(z, g, fine);
+  const cm::AnalyticCurve dc = cm::br_curve(dar, g, fine);
+  const cm::AnalyticCurve lc = cm::br_curve(l, g, fine);
+  double crossover = -1.0;
+  for (std::size_t i = 0; i < fine.size(); ++i) {
+    const double err_dar = std::abs(dc.log10_bop[i] - zc.log10_bop[i]);
+    const double err_l = std::abs(lc.log10_bop[i] - zc.log10_bop[i]);
+    if (err_l < err_dar) {
+      crossover = fine[i];
+      break;
+    }
+  }
+  if (crossover > 0.0) {
+    std::printf(
+        "DAR(1)/L prediction crossover for Z^0.975 at B ~ %.0f msec "
+        "(practical budget: 20-30 msec)\n", crossover);
+  } else {
+    std::printf("no DAR(1)/L crossover found below 4 sec of buffer\n");
+  }
+  std::printf(
+      "expected shape: inside the practical box DAR wins; L wins only at "
+      "B far beyond it; Z slope bends to L's from ~40 msec.\n");
+  bench::maybe_write_csv(flags, csv, "fig7.csv");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Micro-benchmarks (google-benchmark): the analytic core -- rate-function
+// evaluation (the CTS search), aggregate variance, asymptotics and fitting.
+
+#include <benchmark/benchmark.h>
+
+#include "cts/core/br_asymptotic.hpp"
+#include "cts/core/rate_function.hpp"
+#include "cts/core/variance_growth.hpp"
+#include "cts/core/weibull_lrd.hpp"
+#include "cts/fit/dar_fit.hpp"
+#include "cts/fit/model_zoo.hpp"
+#include "cts/fit/tail_fit.hpp"
+
+namespace {
+
+void BM_VarianceGrowth(benchmark::State& state) {
+  auto acf = std::make_shared<cts::core::ExactLrdAcf>(0.9, 0.9);
+  const cts::core::VarianceGrowth v(acf, 5000.0);
+  const auto m = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(v.at(m));
+}
+BENCHMARK(BM_VarianceGrowth)->Arg(100)->Arg(10000);
+
+void BM_RateFunctionLrd(benchmark::State& state) {
+  const cts::fit::ModelSpec model = cts::fit::make_za(0.975);
+  cts::core::RateFunction rate(model.acf, model.mean, model.variance, 538.0);
+  const double b = static_cast<double>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(rate.evaluate(b));
+}
+BENCHMARK(BM_RateFunctionLrd)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_BrCurvePoint(benchmark::State& state) {
+  const cts::fit::ModelSpec model = cts::fit::make_l();
+  cts::core::RateFunction rate(model.acf, model.mean, model.variance, 538.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cts::core::br_log10_bop(rate, 500.0, 30));
+  }
+}
+BENCHMARK(BM_BrCurvePoint);
+
+void BM_WeibullBop(benchmark::State& state) {
+  cts::core::WeibullLrdParams p;
+  p.hurst = 0.9;
+  p.weight = 0.9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cts::core::weibull_log10_bop(p, 30, 12000.0));
+  }
+}
+BENCHMARK(BM_WeibullBop);
+
+void BM_DarFit(benchmark::State& state) {
+  const cts::fit::ModelSpec z = cts::fit::make_za(0.975);
+  const auto p = static_cast<std::size_t>(state.range(0));
+  std::vector<double> targets(p);
+  for (std::size_t k = 1; k <= p; ++k) targets[k - 1] = z.acf->at(k);
+  for (auto _ : state) benchmark::DoNotOptimize(cts::fit::fit_dar(targets));
+}
+BENCHMARK(BM_DarFit)->Arg(1)->Arg(3)->Arg(8);
+
+void BM_TailFit(benchmark::State& state) {
+  const cts::fit::ModelSpec z = cts::fit::make_za(0.9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cts::fit::fit_lrd_tail(
+        [&](std::size_t k) { return z.acf->at(k); }, 0.9));
+  }
+}
+BENCHMARK(BM_TailFit);
+
+void BM_ModelZooConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cts::fit::make_za(0.975));
+  }
+}
+BENCHMARK(BM_ModelZooConstruction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

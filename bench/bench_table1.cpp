@@ -1,0 +1,76 @@
+// Regenerates Table 1: model parameters of V^v, Z^a, S and L, all derived
+// by our fitting code from the common marginal N(500, 5000) at 25 frames/s.
+//
+// Paper reference values:
+//   V^0.67: a=0.7998, lambda=5000,  T0=3.48ms, M=15
+//   V^1:    a=0.8,    lambda=6250,  T0=3.48ms, M=15
+//   V^1.5:  a=0.8004, lambda=7500,  T0=3.48ms, M=15
+//   Z^a:    v=1, alpha=0.8, lambda=6250, T0=2.57ms, M=15
+//   L:      alpha=0.72, lambda=12500, T0=1.83ms, M=30
+//   S(Z^0.7):   DAR(1) rho=0.68; DAR(2) rho=0.72 (0.84,0.16);
+//               DAR(3) rho=0.73 (0.82,0.10,0.08)
+//   S(Z^0.975): DAR(1) rho=0.82; DAR(2) rho=0.87 (0.70,0.30);
+//               DAR(3) rho=0.89 (0.63,0.18,0.19)
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cts/fit/model_zoo.hpp"
+#include "cts/util/table.hpp"
+
+namespace cf = cts::fit;
+namespace cu = cts::util;
+
+int main(int argc, char** argv) {
+  const cu::Flags flags(argc, argv);
+  bench::banner("Table 1: model parameters of V^v, Z^a, S and L");
+
+  cu::TextTable mixtures({"model", "v", "alpha", "a (DAR1)", "lambda (c/s)",
+                          "T0 (msec)", "M"});
+  cu::CsvWriter csv({"model", "v", "alpha", "a", "lambda", "t0_msec", "M"});
+
+  auto add_mixture = [&](const std::string& name,
+                         const cf::MixtureReport& r) {
+    mixtures.add_row({name, cu::format_fixed(r.v, 2),
+                      cu::format_fixed(r.alpha, 3),
+                      r.a > 0.0 ? cu::format_fixed(r.a, 6) : "-",
+                      cu::format_fixed(r.lambda, 1),
+                      cu::format_fixed(r.t0_msec, 2),
+                      cu::format_int(static_cast<long long>(r.M))});
+    csv.add_row({name, cu::format_fixed(r.v, 4), cu::format_fixed(r.alpha, 4),
+                 cu::format_fixed(r.a, 6), cu::format_fixed(r.lambda, 2),
+                 cu::format_fixed(r.t0_msec, 4),
+                 cu::format_int(static_cast<long long>(r.M))});
+  };
+
+  for (const double v : {0.67, 1.0, 1.5}) {
+    add_mixture("V^" + cu::format_fixed(v, 2), cf::report_vv(v));
+  }
+  add_mixture("Z^a (any a)", cf::report_za(0.9));
+  add_mixture("L", cf::report_l());
+  std::printf("%s\n", mixtures.render().c_str());
+
+  std::printf("S = DAR(p) fitted to the first p correlations of Z^a:\n\n");
+  cu::TextTable s({"target", "p", "rho", "a_1", "a_2", "a_3", "residual"});
+  for (const double a : {0.7, 0.975}) {
+    for (const std::size_t p : {std::size_t{1}, std::size_t{2},
+                                std::size_t{3}}) {
+      const cf::DarFit fit = cf::report_dar_fit(a, p);
+      s.add_row({"Z^" + cu::format_fixed(a, 3),
+                 cu::format_int(static_cast<long long>(p)),
+                 cu::format_fixed(fit.rho, 3),
+                 cu::format_fixed(fit.lag_probs[0], 3),
+                 p >= 2 ? cu::format_fixed(fit.lag_probs[1], 3) : "-",
+                 p >= 3 ? cu::format_fixed(fit.lag_probs[2], 3) : "-",
+                 cu::format_sci(fit.residual, 1)});
+    }
+  }
+  std::printf("%s\n", s.render().c_str());
+  std::printf(
+      "paper check: Z^0.7 -> rho = 0.68/0.72/0.73; "
+      "Z^0.975 -> rho = 0.82/0.87/0.89\n");
+
+  bench::maybe_write_csv(flags, csv, "table1.csv");
+  return 0;
+}

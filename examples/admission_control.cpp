@@ -1,0 +1,74 @@
+// Admission control on an OC-3 link -- the paper's motivating application.
+//
+// How many VBR videoconference connections fit on an OC-3 (149.76 Mb/s of
+// cell payload) with a 30 ms delay budget and CLR <= 1e-6?  We answer with
+// three rules and compare:
+//
+//   * B-R admission on the true LRD model (Z^0.975),
+//   * B-R admission on its matched DAR(1) Markov model,
+//   * classical effective-bandwidth admission on the DAR(1).
+//
+// The paper's Section 5.4 point: the Markov model admits essentially the
+// same number of connections as the LRD model -- capturing long-range
+// dependence buys nothing here.
+//
+// Run: ./example_admission_control [--delay-ms=30] [--clr-exp=-6]
+
+#include <cstdio>
+
+#include "cts/atm/cac.hpp"
+#include "cts/atm/link.hpp"
+#include "cts/fit/model_zoo.hpp"
+#include "cts/util/flags.hpp"
+
+int main(int argc, char** argv) {
+  const cts::util::Flags flags(argc, argv);
+  const double delay_ms = flags.get_double("delay-ms", 30.0);
+  const double clr_exp = flags.get_double("clr-exp", -6.0);
+
+  const cts::atm::Link link(cts::atm::kOc3PayloadBitsPerSecond);
+  const double Ts = 0.04;
+
+  cts::atm::CacProblem problem;
+  problem.capacity_cells_per_frame = link.cells_per_frame(Ts);
+  problem.buffer_cells = link.buffer_cells_for_delay_ms(delay_ms);
+  problem.log10_target_clr = clr_exp;
+
+  std::printf("OC-3 payload rate: %.2f Mb/s = %.0f cells/s = %.0f "
+              "cells/frame (40 ms frames)\n",
+              cts::atm::kOc3PayloadBitsPerSecond / 1e6,
+              link.cells_per_second(), problem.capacity_cells_per_frame);
+  std::printf("buffer: %.0f cells (max delay %.0f ms), QOS target: CLR <= "
+              "1e%+.0f\n\n",
+              problem.buffer_cells, delay_ms, clr_exp);
+
+  const cts::fit::ModelSpec lrd = cts::fit::make_za(0.975);
+  const cts::fit::ModelSpec markov = cts::fit::make_dar_matched_to_za(0.975, 1);
+
+  const auto n_lrd = cts::atm::admissible_connections_br(lrd, problem);
+  const auto n_markov = cts::atm::admissible_connections_br(markov, problem);
+  const auto n_eb = cts::atm::admissible_connections_eb(markov, problem);
+
+  std::printf("%-44s %5zu connections (log10 BOP at max: %.2f)\n",
+              ("B-R admission, LRD model " + lrd.name).c_str(),
+              n_lrd.admissible, n_lrd.log10_bop_at_max);
+  std::printf("%-44s %5zu connections (log10 BOP at max: %.2f)\n",
+              ("B-R admission, Markov model " + markov.name).c_str(),
+              n_markov.admissible, n_markov.log10_bop_at_max);
+  std::printf("%-44s %5zu connections\n",
+              "effective-bandwidth admission, Markov model",
+              n_eb.admissible);
+
+  const double mean_rate_limit =
+      problem.capacity_cells_per_frame / lrd.mean;
+  std::printf("\n(mean-rate packing bound: %.1f; peak-rate style allocation "
+              "would admit far fewer)\n", mean_rate_limit);
+  const long long diff =
+      static_cast<long long>(n_lrd.admissible) -
+      static_cast<long long>(n_markov.admissible);
+  std::printf(
+      "LRD-aware minus Markov admission difference: %lld connection(s) -- "
+      "the paper's point:\ncapturing long-range dependence does not change "
+      "the engineering answer at practical buffers.\n", diff);
+  return 0;
+}

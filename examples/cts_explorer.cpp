@@ -1,0 +1,83 @@
+// CTS explorer: interactively sweep the knobs of the Critical Time Scale.
+//
+// For a chosen correlation structure this prints how m*_b responds to
+// buffer size, utilisation (via per-source bandwidth), and the Hurst
+// parameter -- making the paper's scaling laws tangible:
+//
+//   Markov:  m* ~ b / (c - mu)
+//   LRD:     m* ~ H b / ((1 - H)(c - mu))
+//
+// It also demonstrates the GoP extension: periodic MPEG-like modulation on
+// top of an LRD source, and what it does to short-lag correlations and CTS.
+//
+// Run: ./example_cts_explorer [--hurst=0.9] [--bandwidth=538]
+
+#include <cstdio>
+#include <memory>
+
+#include "cts/core/rate_function.hpp"
+#include "cts/fit/model_zoo.hpp"
+#include "cts/proc/gop.hpp"
+#include "cts/stats/acf.hpp"
+#include "cts/util/flags.hpp"
+
+int main(int argc, char** argv) {
+  const cts::util::Flags flags(argc, argv);
+  const double hurst = flags.get_double("hurst", 0.9);
+  const double c = flags.get_double("bandwidth", 538.0);
+  const double mu = 500.0;
+  const double sigma2 = 5000.0;
+
+  std::printf("== CTS vs buffer (mu=%.0f, sigma^2=%.0f, c=%.0f) ==\n\n", mu,
+              sigma2, c);
+  auto lrd = std::make_shared<cts::core::ExactLrdAcf>(hurst, 0.9);
+  auto markov = std::make_shared<cts::core::GeometricAcf>(0.9);
+  cts::core::RateFunction lrd_rate(lrd, mu, sigma2, c);
+  cts::core::RateFunction markov_rate(markov, mu, sigma2, c);
+
+  std::printf("%-12s %-16s %-16s %-16s %s\n", "b (cells)", "m* LRD",
+              "H b/((1-H)(c-mu))", "m* geometric", "b/(c-mu)");
+  for (const double b : {0.0, 50.0, 200.0, 800.0, 3200.0}) {
+    std::printf("%-12.0f %-16zu %-16.1f %-16zu %.1f\n", b,
+                lrd_rate.evaluate(b).critical_m,
+                cts::core::lrd_cts_slope(hurst, mu, c) * b,
+                markov_rate.evaluate(b).critical_m,
+                cts::core::markov_cts_slope(mu, c) * b);
+  }
+
+  std::printf("\n== CTS vs Hurst parameter (b = 800 cells) ==\n\n");
+  std::printf("%-8s %-10s %s\n", "H", "m*", "I(c,b)");
+  for (const double h : {0.55, 0.7, 0.8, 0.9, 0.95}) {
+    auto acf = std::make_shared<cts::core::ExactLrdAcf>(h, 0.9);
+    cts::core::RateFunction rate(acf, mu, sigma2, c);
+    const auto result = rate.evaluate(800.0);
+    std::printf("%-8.2f %-10zu %.3f\n", h, result.critical_m, result.rate);
+  }
+  std::printf("\nhigher H => rate function decays => more loss; and the CTS "
+              "grows -- but stays FINITE and modest\nat realistic buffers, "
+              "which is the paper's whole point.\n");
+
+  std::printf("\n== extension: MPEG GoP modulation on an LRD base ==\n\n");
+  const cts::fit::ModelSpec base = cts::fit::make_za(0.9);
+  auto plain = base.make_source(7);
+  cts::proc::GopModulatedSource gop(base.make_source(7),
+                                    cts::proc::GopPattern::ibbpbb12());
+  std::vector<double> plain_trace(60000);
+  std::vector<double> gop_trace(60000);
+  for (std::size_t i = 0; i < plain_trace.size(); ++i) {
+    plain_trace[i] = plain->next_frame();
+    gop_trace[i] = gop.next_frame();
+  }
+  const auto r_plain = cts::stats::autocorrelation(plain_trace, 13);
+  const auto r_gop = cts::stats::autocorrelation(gop_trace, 13);
+  std::printf("%-6s %-12s %s\n", "lag", "plain r(k)", "GoP-modulated r(k)");
+  for (const std::size_t k : {std::size_t{1}, std::size_t{3}, std::size_t{6},
+                              std::size_t{12}}) {
+    std::printf("%-6zu %-12.3f %.3f\n", k, r_plain[k], r_gop[k]);
+  }
+  std::printf(
+      "\nGoP periodicity adds the lag-12 resonance characteristic of "
+      "MPEG traffic (Section 6.2's future work);\nfeed the measured ACF "
+      "into TabulatedAcf + RateFunction to dimension for it.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Model identification workflow -- what a traffic engineer would do with a
+// captured frame-size trace:
+//
+//  1. "Capture" a trace (here: generate one from Z^0.9, playing the role of
+//     a real LRD videoconference recording).
+//  2. Verify the marginal (moments + KS normality check).
+//  3. Estimate the Hurst parameter three ways (variance-time, R/S, GPH) --
+//     confirming the trace is LRD, as Beran et al. found for real video.
+//  4. Measure the empirical ACF and fit DAR(p) Markov models to it.
+//  5. Feed BOTH the empirical ACF and the fitted DAR ACF into the CTS
+//     machinery and compare predicted loss -- showing the fitted Markov
+//     model is all you need at practical buffer sizes.
+//
+// Run: ./example_model_identification [--frames=120000]
+
+#include <cstdio>
+#include <vector>
+
+#include "cts/core/acf_model.hpp"
+#include "cts/core/br_asymptotic.hpp"
+#include "cts/core/rate_function.hpp"
+#include "cts/fit/dar_fit.hpp"
+#include "cts/fit/model_zoo.hpp"
+#include "cts/sim/curves.hpp"
+#include "cts/stats/acf.hpp"
+#include "cts/stats/hurst.hpp"
+#include "cts/stats/ks.hpp"
+#include "cts/util/flags.hpp"
+
+int main(int argc, char** argv) {
+  const cts::util::Flags flags(argc, argv);
+  const auto frames =
+      static_cast<std::size_t>(flags.get_int("frames", 120000));
+
+  // 1. Capture.
+  const cts::fit::ModelSpec truth = cts::fit::make_za(0.9);
+  auto source = truth.make_source(2026);
+  std::vector<double> trace(frames);
+  for (auto& x : trace) x = source->next_frame();
+  std::printf("captured %zu frames from '%s' (playing a real trace)\n\n",
+              frames, truth.name.c_str());
+
+  // 2. Marginal.
+  const double mean = cts::stats::sample_mean(trace);
+  const double var = cts::stats::sample_variance(trace);
+  const cts::stats::KsResult ks =
+      cts::stats::ks_test_normal(trace, mean, var);
+  std::printf("marginal: mean %.1f cells/frame, variance %.0f, KS distance "
+              "to Gaussian %.4f\n\n", mean, var, ks.statistic);
+
+  // 3. Hurst estimation.
+  const auto vt = cts::stats::hurst_variance_time(trace);
+  const auto rs = cts::stats::hurst_rescaled_range(trace);
+  const auto gph = cts::stats::hurst_gph(trace);
+  std::printf("Hurst estimates: variance-time %.3f (R^2 %.3f) | R/S %.3f | "
+              "GPH %.3f\n", vt.hurst, vt.r_squared, rs.hurst, gph.hurst);
+  std::printf("=> H > 0.5: the trace is long-range dependent.\n\n");
+
+  // 4. Fit DAR(p) to the first p empirical correlations.
+  const std::vector<double> acf = cts::stats::autocorrelation(trace, 16);
+  std::printf("empirical ACF: r(1)=%.3f r(2)=%.3f r(3)=%.3f r(10)=%.3f\n\n",
+              acf[1], acf[2], acf[3], acf[10]);
+
+  cts::sim::MuxGeometry mux;  // would come from the link under study
+  mux.n_sources = 30;
+  mux.bandwidth_per_source = 538.0;
+  mux.Ts = 0.04;
+
+  // 5. Compare predicted loss: empirical ACF vs fitted DAR(p).
+  auto empirical_acf = std::make_shared<cts::core::TabulatedAcf>(
+      std::vector<double>(acf.begin(), acf.begin() + 17));
+  cts::core::RateFunction empirical_rate(empirical_acf, mean, var,
+                                         mux.bandwidth_per_source);
+
+  std::printf("%-10s %-14s %-14s %s\n", "B (ms)", "empirical ACF",
+              "DAR(1)", "DAR(3)   [log10 BOP, N=30, c=538]");
+  for (const double ms : {2.0, 10.0, 30.0}) {
+    const double b = mux.buffer_ms_to_cells(ms) / 30.0;
+    std::printf("%-10.0f %-14.2f", ms,
+                cts::core::br_log10_bop(empirical_rate, b, 30).log10_bop);
+    for (const std::size_t p : {std::size_t{1}, std::size_t{3}}) {
+      const std::vector<double> targets(acf.begin() + 1,
+                                        acf.begin() + 1 +
+                                            static_cast<std::ptrdiff_t>(p));
+      const cts::fit::DarFit fit = cts::fit::fit_dar(targets);
+      auto dar_acf =
+          std::make_shared<cts::core::DarAcf>(fit.rho, fit.lag_probs);
+      cts::core::RateFunction dar_rate(dar_acf, mean, var,
+                                       mux.bandwidth_per_source);
+      std::printf(" %-13.2f",
+                  cts::core::br_log10_bop(dar_rate, b, 30).log10_bop);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nthe DAR(p) columns track the empirical-ACF column closely: the "
+      "fitted Markov model suffices\nfor QOS prediction despite the "
+      "measured LRD.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Quickstart: the library in five steps.
+//
+//  1. Build an LRD VBR video model (Z^0.975) from the model zoo.
+//  2. Ask the large-deviations core for its Critical Time Scale.
+//  3. Predict the buffer-overflow probability (Bahadur-Rao).
+//  4. Simulate the same multiplexer and estimate the CLR.
+//  5. Compare -- the CTS tells you how many frame correlations mattered.
+//
+// Build & run:  ./example_quickstart [--frames=50000] [--reps=4]
+
+#include <cmath>
+#include <cstdio>
+
+#include "cts/core/br_asymptotic.hpp"
+#include "cts/core/rate_function.hpp"
+#include "cts/fit/model_zoo.hpp"
+#include "cts/sim/curves.hpp"
+#include "cts/sim/replication.hpp"
+#include "cts/util/flags.hpp"
+
+int main(int argc, char** argv) {
+  const cts::util::Flags flags(argc, argv);
+
+  // 1. An LRD video source: Gaussian N(500, 5000) cells/frame marginal,
+  //    Hurst 0.9 long-term correlations, strong geometric short-term
+  //    correlations (a = 0.975).
+  const cts::fit::ModelSpec model = cts::fit::make_za(0.975);
+  std::printf("model: %s   mean %.0f cells/frame, variance %.0f\n",
+              model.name.c_str(), model.mean, model.variance);
+  std::printf("ACF:   r(1)=%.3f  r(10)=%.3f  r(100)=%.3f  r(1000)=%.4f\n\n",
+              model.acf->at(1), model.acf->at(10), model.acf->at(100),
+              model.acf->at(1000));
+
+  // 2. Multiplexer geometry: N = 30 sources, c cells/frame each, 10 ms of
+  //    total buffering.  (The default c = 522 keeps the CLR measurable in
+  //    a few seconds of simulation; the paper's own operating point is
+  //    c = 538, where resolving the ~1e-6 CLR needs its 60 x 500k-frame
+  //    budget -- try --bandwidth=538 --frames=500000.)
+  cts::sim::MuxGeometry mux;
+  mux.n_sources = 30;
+  mux.bandwidth_per_source = flags.get_double("bandwidth", 522.0);
+  mux.Ts = 0.04;
+  const double buffer_ms = flags.get_double("buffer-ms", 10.0);
+  const double b = mux.buffer_ms_to_cells(buffer_ms) /
+                   static_cast<double>(mux.n_sources);
+
+  cts::core::RateFunction rate(model.acf, model.mean, model.variance,
+                               mux.bandwidth_per_source);
+  const cts::core::RateResult cts_result = rate.evaluate(b);
+  std::printf("at B = %.0f ms: Critical Time Scale m* = %zu frames\n",
+              buffer_ms, cts_result.critical_m);
+  std::printf("=> only the first %zu frame correlations affect the loss; "
+              "the LRD tail beyond is irrelevant here.\n\n",
+              cts_result.critical_m);
+
+  // 3. Analytic BOP.
+  const cts::core::BopPoint bop =
+      cts::core::br_log10_bop(rate, b, mux.n_sources);
+  std::printf("Bahadur-Rao BOP prediction: log10 P(W > B) = %.2f\n",
+              bop.log10_bop);
+
+  // 4. Simulate.
+  cts::sim::ReplicationConfig scale;
+  scale.replications =
+      static_cast<std::size_t>(flags.get_int("reps", 4));
+  scale.frames_per_replication =
+      static_cast<std::uint64_t>(flags.get_int("frames", 50000));
+  scale.warmup_frames = 1000;
+  const cts::sim::SimulatedCurve sim =
+      cts::sim::simulated_clr_curve(model, mux, {buffer_ms}, scale);
+  if (sim.clr[0] > 0.0) {
+    std::printf("simulated CLR:              log10 = %.2f  "
+                "(95%% CI [%.2e, %.2e])\n",
+                std::log10(sim.clr[0]), sim.ci_low[0], sim.ci_high[0]);
+  } else {
+    std::printf("simulated CLR: 0 losses observed (below measurement "
+                "floor at this scale)\n");
+  }
+
+  // 5. The punchline.
+  std::printf(
+      "\nThe B-R asymptotic upper-bounds the simulated CLR (it targets the "
+      "infinite-buffer BOP);\nrun with a larger --frames to tighten the "
+      "estimate, or try --buffer-ms=2 vs 30.\n");
+  return 0;
+}

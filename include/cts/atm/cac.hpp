@@ -1,0 +1,51 @@
+// Connection Admission Control (CAC) for homogeneous VBR video sources.
+//
+// The paper's motivating application (Section 5.4, citing Elwalid et al.):
+// how many video connections can a link admit while keeping the cell loss
+// rate below a target?  Two admission rules are implemented:
+//
+//  * B-R rule: the largest N such that the Bahadur-Rao BOP with c = C/N
+//    and b = B/N stays below the target.  Uses the full correlation
+//    structure through the CTS machinery -- this is the paper's approach.
+//  * Effective-bandwidth rule: the classical Markov recipe
+//    N = floor(C / EB(delta)), delta = -ln eps / B; exists only for SRD
+//    models (the asymptotic variance rate must converge).
+//
+// The paper's §5.4 observation is reproduced by comparing the counts the
+// two rules give for Z^a versus its matched DAR(p): within the practical
+// operating region they differ by at most a connection or two.
+
+#pragma once
+
+#include <cstddef>
+
+#include "cts/fit/model_zoo.hpp"
+
+namespace cts::atm {
+
+/// Admission problem statement.
+struct CacProblem {
+  double capacity_cells_per_frame = 16140.0;  ///< link capacity C
+  double buffer_cells = 4035.0;               ///< total buffer B
+  double log10_target_clr = -6.0;             ///< QOS target (log10)
+
+  void validate() const;
+};
+
+/// Outcome of an admission computation.
+struct CacResult {
+  std::size_t admissible = 0;   ///< max admitted connections
+  double log10_bop_at_max = 0.0;///< predicted log10 BOP at that N
+};
+
+/// Largest N with BR-predicted log10 BOP <= target.  Monotonicity of the
+/// BOP in N (for fixed C, B) makes this a binary search.
+CacResult admissible_connections_br(const fit::ModelSpec& model,
+                                    const CacProblem& problem);
+
+/// Classical effective-bandwidth admission count.  Throws
+/// util::NumericalError for LRD models (no finite variance rate).
+CacResult admissible_connections_eb(const fit::ModelSpec& model,
+                                    const CacProblem& problem);
+
+}  // namespace cts::atm

@@ -1,0 +1,78 @@
+// Generic Cell Rate Algorithm (GCRA) -- ATM usage parameter control.
+//
+// The policing companion of admission control: the network verifies at the
+// UNI that a connection keeps the traffic contract its CAC decision was
+// based on.  GCRA(T, tau) is the ITU I.371 virtual-scheduling algorithm:
+// a cell arriving at time t conforms iff t >= TAT - tau, where TAT is the
+// theoretical arrival time; conforming cells advance TAT by T.
+//
+// Dual leaky buckets (peak rate + sustainable rate with burst tolerance)
+// are composed from two GCRA instances, as in the ATM Forum UNI spec.
+
+#pragma once
+
+#include <cstdint>
+
+namespace cts::atm {
+
+/// One GCRA(T, tau) instance (virtual scheduling formulation).
+class Gcra {
+ public:
+  /// `increment` is T (seconds/cell, the reciprocal contract rate);
+  /// `limit` is tau (seconds of tolerance).
+  Gcra(double increment, double limit);
+
+  /// Processes a cell arriving at absolute time `t` (seconds, must be
+  /// non-decreasing across calls).  Returns true iff the cell conforms;
+  /// non-conforming cells do NOT advance the scheduler state.
+  bool conforms(double t);
+
+  /// Resets to the initial state (next cell always conforms).
+  void reset();
+
+  double increment() const noexcept { return increment_; }
+  double limit() const noexcept { return limit_; }
+
+ private:
+  double increment_;
+  double limit_;
+  double tat_ = 0.0;
+  bool first_ = true;
+};
+
+/// Dual leaky bucket: peak cell rate (PCR, with CDV tolerance) plus
+/// sustainable cell rate (SCR, with burst tolerance).  A cell conforms only
+/// if it conforms to both buckets; the buckets advance independently per
+/// the ATM Forum conformance definition.
+class DualLeakyBucket {
+ public:
+  /// Rates in cells/second; tolerances in seconds.
+  DualLeakyBucket(double peak_rate, double cdv_tolerance,
+                  double sustainable_rate, double burst_tolerance);
+
+  bool conforms(double t);
+  void reset();
+
+  /// Maximum burst size (cells) the SCR bucket admits at peak rate:
+  /// MBS = 1 + floor(BT / (1/SCR - 1/PCR)).
+  double max_burst_size() const;
+
+ private:
+  Gcra peak_;
+  Gcra sustainable_;
+};
+
+/// Policing statistics for a cell stream.
+struct PolicingResult {
+  std::uint64_t cells = 0;
+  std::uint64_t nonconforming = 0;
+
+  double violation_ratio() const {
+    return cells > 0
+               ? static_cast<double>(nonconforming) /
+                     static_cast<double>(cells)
+               : 0.0;
+  }
+};
+
+}  // namespace cts::atm

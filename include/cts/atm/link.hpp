@@ -1,0 +1,48 @@
+// ATM link geometry: bit rates, cell rates, buffers and delays.
+//
+// Converts between the units the paper mixes freely: link bit rate (e.g.
+// OC-3 at 155.52 Mb/s), cell rate (cells/s), per-frame capacity (cells per
+// Ts), buffer size in cells and the corresponding maximum queueing delay in
+// milliseconds.
+
+#pragma once
+
+#include <cstdint>
+
+namespace cts::atm {
+
+/// SONET OC-3 line rate in bits/s.
+inline constexpr double kOc3BitsPerSecond = 155.52e6;
+/// SONET OC-3 payload rate available to ATM cells (SDH overhead removed).
+inline constexpr double kOc3PayloadBitsPerSecond = 149.76e6;
+/// DS-3 (44.736 Mb/s) with PLCP framing: ~40.704 Mb/s of cells.
+inline constexpr double kDs3CellBitsPerSecond = 40.704e6;
+
+/// A constant-rate ATM link.
+class Link {
+ public:
+  /// `bits_per_second` is the rate available to whole 53-byte cells.
+  explicit Link(double bits_per_second);
+
+  double bits_per_second() const noexcept { return bits_per_second_; }
+
+  /// Cells per second (53 bytes each).
+  double cells_per_second() const noexcept;
+
+  /// Service capacity in cells per frame of `Ts` seconds.
+  double cells_per_frame(double Ts) const;
+
+  /// Maximum queueing delay (msec) of a `buffer_cells` buffer.
+  double buffer_delay_ms(double buffer_cells) const;
+
+  /// Buffer size (cells) giving a maximum delay of `ms` milliseconds.
+  double buffer_cells_for_delay_ms(double ms) const;
+
+  /// Transmission time of one cell (seconds).
+  double cell_time() const noexcept;
+
+ private:
+  double bits_per_second_;
+};
+
+}  // namespace cts::atm

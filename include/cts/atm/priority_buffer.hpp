@@ -1,0 +1,57 @@
+// Space-priority buffer management (CLP-aware partial buffer sharing).
+//
+// ATM's CLP bit marks low-priority cells; the classic buffer-management
+// policy is PARTIAL BUFFER SHARING: low-priority (CLP = 1) cells are
+// admitted only while the queue is below a threshold S < B, high-priority
+// cells up to the full buffer B.  This module provides the fluid frame-
+// level version of that policy for two traffic classes, reporting per-class
+// loss -- the mechanism that turns one physical buffer into two QOS
+// classes.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cts/proc/frame_source.hpp"
+
+namespace cts::atm {
+
+/// Per-class tallies of a partial-buffer-sharing run.
+struct PrioritySharingResult {
+  std::uint64_t frames = 0;
+  double high_arrived = 0.0;
+  double low_arrived = 0.0;
+  double high_lost = 0.0;
+  double low_lost = 0.0;
+
+  double high_clr() const {
+    return high_arrived > 0.0 ? high_lost / high_arrived : 0.0;
+  }
+  double low_clr() const {
+    return low_arrived > 0.0 ? low_lost / low_arrived : 0.0;
+  }
+};
+
+/// Configuration of the two-class fluid run.
+struct PrioritySharingConfig {
+  std::uint64_t frames = 100000;
+  std::uint64_t warmup_frames = 1000;
+  double capacity_cells = 16140.0;  ///< total service, cells/frame
+  double buffer_cells = 4000.0;     ///< B
+  double threshold_cells = 2000.0;  ///< S: low-priority admission cutoff
+
+  void validate() const;
+};
+
+/// Runs the two-class fluid recursion: within each frame, high-priority
+/// fluid is admitted up to B and low-priority fluid only while the queue
+/// is below S (low-priority fluid is clipped first, matching the
+/// cell-level policy where CLP=1 arrivals are dropped at queue >= S).
+PrioritySharingResult run_partial_buffer_sharing(
+    std::vector<std::unique_ptr<proc::FrameSource>>& high_sources,
+    std::vector<std::unique_ptr<proc::FrameSource>>& low_sources,
+    const PrioritySharingConfig& config);
+
+}  // namespace cts::atm

@@ -1,0 +1,27 @@
+// Deterministic frame-to-cell smoothing.
+//
+// Real-time VBR video encoders emit a frame every Ts seconds; the ATM
+// adaptation layer spaces its cells evenly across the frame interval
+// ("deterministic smoothing", the paper's Section 5.5 assumption).  This
+// module computes the exact cell emission schedule used by the cell-level
+// simulator and any packetisation layer.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cts::atm {
+
+/// Emission times (seconds from frame start) for `cells` cells smoothed
+/// over a frame of `Ts` seconds: cell j departs at (j + 1/2) Ts / cells.
+std::vector<double> smoothing_schedule(std::uint64_t cells, double Ts);
+
+/// Inter-cell gap of the schedule (Ts / cells); 0 when cells == 0.
+double smoothing_gap(std::uint64_t cells, double Ts);
+
+/// Number of whole cells needed to carry `payload_bytes` of AAL payload at
+/// 48 bytes per cell (ceiling division).
+std::uint64_t cells_for_payload(std::uint64_t payload_bytes);
+
+}  // namespace cts::atm

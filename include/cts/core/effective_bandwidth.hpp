@@ -1,0 +1,40 @@
+// Classical Gaussian effective bandwidth (the pre-LRD toolbox).
+//
+// For an SRD Gaussian source the asymptotic variance rate
+// v_inf = sigma^2 (1 + 2 sum_{k>=1} r(k)) is finite, the BOP decays as
+// exp(-delta B), and the effective bandwidth at decay rate delta is
+//
+//   EB(delta) = mu + delta v_inf / 2.
+//
+// Admission control then fits N = floor(C / EB(delta)) sources with
+// delta = -ln(eps) / B.  The paper's point is that applying this toolbox
+// via a well-chosen Markov model remains sound for LRD video at practical
+// buffer sizes; the CAC module (atm/cac) exposes both this and the exact
+// B-R inversion for comparison.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "cts/core/acf_model.hpp"
+
+namespace cts::core {
+
+/// Asymptotic variance rate v_inf = sigma^2 (1 + 2 sum r(k)).  The sum is
+/// truncated once the tail contribution is provably below `tol` for
+/// geometric-type ACFs, or after `max_terms` lags otherwise; LRD ACFs (for
+/// which the sum diverges) are detected by non-convergence and reported via
+/// util::NumericalError -- effective bandwidth does not exist for them.
+double asymptotic_variance_rate(const AcfModel& acf, double variance,
+                                double tol = 1e-12,
+                                std::size_t max_terms = 1u << 22);
+
+/// Gaussian effective bandwidth at exponential decay rate delta >= 0.
+double effective_bandwidth(double mean, double variance_rate, double delta);
+
+/// Decay rate delta implied by target log10 CLR `log10_eps` at total buffer
+/// B (cells): delta = -ln(10^log10_eps)/B.
+double decay_rate_for_target(double log10_eps, double total_buffer);
+
+}  // namespace cts::core

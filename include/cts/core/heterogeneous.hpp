@@ -1,0 +1,52 @@
+// Heterogeneous source populations.
+//
+// The paper's multiplexer is homogeneous (N copies of one model), but real
+// links carry mixes.  For independent Gaussian sources the aggregate is
+// Gaussian with
+//
+//   mu_A  = sum_i n_i mu_i,      var_A = sum_i n_i var_i,
+//   r_A(k) = sum_i n_i var_i r_i(k) / var_A,
+//
+// and the Bahadur-Rao machinery applies to the aggregate directly (N = 1).
+// For a homogeneous population this reduces EXACTLY to the per-source
+// formulation: [Nb + m(Nc - Nmu)]^2 / (2 N V(m)) = N [b + m(c-mu)]^2/(2V(m)).
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "cts/core/br_asymptotic.hpp"
+#include "cts/core/rate_function.hpp"
+
+namespace cts::core {
+
+/// One class of sources in a mixed population.
+struct PopulationClass {
+  std::shared_ptr<const AcfModel> acf;
+  double mean = 0.0;      ///< per-source cells/frame
+  double variance = 0.0;  ///< per-source variance
+  std::size_t count = 0;  ///< number of sources of this class
+};
+
+/// Aggregate statistics of a population (Gaussian superposition).
+struct AggregateModel {
+  std::shared_ptr<const AcfModel> acf;  ///< variance-weighted mixture
+  double mean = 0.0;                    ///< total cells/frame
+  double variance = 0.0;                ///< total variance
+};
+
+/// Builds the aggregate Gaussian model of a population.  Requires at least
+/// one class with count >= 1.
+AggregateModel aggregate_population(
+    const std::vector<PopulationClass>& classes);
+
+/// log10 Bahadur-Rao BOP of the aggregate population on a link of
+/// `total_capacity` cells/frame with `total_buffer` cells.  Requires
+/// total_capacity > aggregate mean (stability).
+BopPoint heterogeneous_br_log10_bop(
+    const std::vector<PopulationClass>& classes, double total_capacity,
+    double total_buffer);
+
+}  // namespace cts::core

@@ -1,0 +1,52 @@
+// Aggregate variance V(m) = Var(Y_1 + ... + Y_m).
+//
+// This is the only statistic through which correlations enter the
+// Bahadur-Rao rate function (paper eq. 10):
+//
+//   V(m) = sigma^2 [ m + 2 sum_{i=1..m} (m - i) r(i) ].
+//
+// The class caches the running sums S1(m) = sum r(i) and S2(m) = sum i r(i)
+// so a sweep over m (the CTS search) costs O(1) amortised per step.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "cts/core/acf_model.hpp"
+
+namespace cts::core {
+
+/// Incrementally evaluated aggregate variance of a correlated sum.
+class VarianceGrowth {
+ public:
+  /// `acf` must outlive this object (shared ownership).
+  VarianceGrowth(std::shared_ptr<const AcfModel> acf, double variance);
+
+  /// V(m) for m >= 1; extends internal caches as needed.
+  double at(std::size_t m) const;
+
+  /// Index-of-dispersion-style normalised growth V(m)/(sigma^2 m); tends to
+  /// 1 + 2*sum r(i) for SRD and grows like m^{2H-1} for LRD.
+  double normalized(std::size_t m) const;
+
+  double variance() const noexcept { return variance_; }
+  const AcfModel& acf() const noexcept { return *acf_; }
+
+ private:
+  void extend(std::size_t m) const;
+
+  std::shared_ptr<const AcfModel> acf_;
+  double variance_;
+  // s1_[m] = sum_{i=1..m} r(i), s2_[m] = sum_{i=1..m} i r(i); index 0 unused.
+  mutable std::vector<double> s1_{0.0};
+  mutable std::vector<double> s2_{0.0};
+};
+
+/// Closed-form approximation for exact-LRD sources (paper appendix eq. 11):
+/// V(m) ~ sigma^2 g m^{2H}; exact enough even for small m.
+double lrd_variance_growth_approx(double variance, double weight, double hurst,
+                                  std::size_t m);
+
+}  // namespace cts::core

@@ -1,0 +1,46 @@
+// Weibull asymptotic for N Gaussian exact-LRD sources (paper eq. 6).
+//
+//   P(W > B) ~ exp( -J - (1/2) log(4 pi J) ),
+//   J(N,b,c) = N^{2H-1} (c-mu)^{2H} / (2 g sigma^2 kappa(H)^2) * B^{2-2H},
+//   kappa(H) = H^H (1-H)^{1-H},  B = N b.
+//
+// Derived in the paper's appendix by substituting the closed-form LRD
+// variance growth V(m) ~ sigma^2 g m^{2H} into the Bahadur-Rao rate
+// function.  For H = 1/2 it collapses to the classical log-linear
+// (exponential) decay of Markov effective-bandwidth theory -- the formula
+// that fuelled both "myths" the paper debunks.
+
+#pragma once
+
+#include <cstddef>
+
+namespace cts::core {
+
+/// Parameters of the Weibull LRD bound.
+struct WeibullLrdParams {
+  double hurst = 0.9;       ///< H in (1/2, 1)
+  double weight = 1.0;      ///< g(Ts) of eq. (2); 1 for FGN
+  double mean = 500.0;      ///< mu, cells/frame per source
+  double variance = 5000.0; ///< sigma^2 per source
+  double bandwidth = 538.0; ///< c, cells/frame per source (c > mu)
+
+  void validate() const;
+};
+
+/// kappa(H) = H^H (1-H)^{1-H}.
+double kappa(double hurst);
+
+/// The exponent J(N, b, c) with total buffer B = N * b (cells).
+double weibull_exponent(const WeibullLrdParams& params,
+                        std::size_t n_sources, double total_buffer);
+
+/// log10 P(W > B) by eq. (6); clamped at 0.
+double weibull_log10_bop(const WeibullLrdParams& params,
+                         std::size_t n_sources, double total_buffer);
+
+/// The closed-form CTS along the Weibull asymptotic (paper appendix):
+/// m* ~ H b / ((1-H)(c - mu)).
+double weibull_critical_m(const WeibullLrdParams& params,
+                          double buffer_per_source);
+
+}  // namespace cts::core

@@ -1,0 +1,42 @@
+// DAR(p) parameter fitting (the paper's "S" models).
+//
+// Given the first p target autocorrelations r(1..p) of a trace or model,
+// DAR(p) can match them exactly.  Writing c_i = rho * a_i, the DAR
+// recursion at lags 1..p becomes the symmetric Toeplitz system
+//
+//   r(k) = sum_{i=1..p} c_i r(|k - i|),   k = 1..p,
+//
+// solved by Levinson recursion; then rho = sum c_i and a_i = c_i / rho.
+// This is the procedure of Ryu's thesis (chapter 6) the paper cites for
+// constructing S from Z^a.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cts/proc/dar.hpp"
+
+namespace cts::fit {
+
+/// Outcome of a DAR(p) fit.
+struct DarFit {
+  double rho = 0.0;               ///< repeat probability
+  std::vector<double> lag_probs;  ///< a_1..a_p
+  /// Max |model r(k) - target r(k)| over k = 1..p (should be ~1e-12).
+  double residual = 0.0;
+};
+
+/// Fits DAR(p) to match `target_acf` = r(1..p) exactly.
+///
+/// Throws util::InvalidArgument when the targets are not representable by a
+/// DAR(p) process (rho outside [0,1) or any a_i < 0): DAR correlations are
+/// mixtures, so not every correlation vector is feasible.
+DarFit fit_dar(const std::vector<double>& target_acf);
+
+/// Convenience: fit and package as simulation-ready parameters with the
+/// given Gaussian marginal.
+proc::DarParams fit_dar_params(const std::vector<double>& target_acf,
+                               double mean, double variance);
+
+}  // namespace cts::fit

@@ -1,0 +1,42 @@
+// Moment calibration of FBNDP parameters (Table 1, items 2 and 8).
+//
+// The experiments pin the frame-size marginal to N(mu, sigma^2) and the
+// fractal exponent alpha; the free FBNDP knobs (R, A, and hence T_0) are
+// then determined:
+//
+//   lambda = mu / T_s                      (mean arrival rate)
+//   T_0    = T_s * (sigma^2/mu - 1)^(-1/alpha)   (from the variance formula)
+//   R      = 2 lambda / M                  (ON rate; M chosen for CLT)
+//   A      from the closed-form T_0 expression, exponent 1/(alpha-1) < 0.
+//
+// Note sigma^2/mu > 1 is required: FBNDP frame counts are over-dispersed
+// Poisson mixtures, so their index of dispersion always exceeds 1.
+
+#pragma once
+
+#include <cstdint>
+
+#include "cts/proc/fbndp.hpp"
+
+namespace cts::fit {
+
+/// Target statistics for an FBNDP component.
+struct FbndpTarget {
+  double mean = 250.0;      ///< mu_X, cells/frame
+  double variance = 2500.0; ///< sigma_X^2
+  double alpha = 0.8;       ///< fractal exponent (H = (alpha+1)/2)
+  std::uint32_t M = 15;     ///< number of ON/OFF processes (CLT knob)
+  double Ts = 0.04;         ///< frame duration (seconds)
+
+  void validate() const;
+};
+
+/// Computes the full FBNDP parameter set matching `target` exactly in
+/// (mean, variance, alpha).
+proc::FbndpParams calibrate_fbndp(const FbndpTarget& target);
+
+/// The fractal onset time implied by the target moments:
+/// T_0 = Ts (sigma^2/mu - 1)^{-1/alpha}.
+double implied_fractal_onset_time(const FbndpTarget& target);
+
+}  // namespace cts::fit

@@ -1,0 +1,53 @@
+// Automatic DAR order selection.
+//
+// The paper closes with "future traffic analysis should focus more on
+// finding appropriate time scale at which traffic behavior is to be
+// captured, rather than on providing accurate traffic models."  This module
+// operationalises that: given a target ACF and an operating point
+// (bandwidth, buffer, N), it finds the smallest DAR order p whose B-R BOP
+// prediction has converged -- i.e. the number of correlations actually
+// worth modelling, which tracks the CTS.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cts/core/acf_model.hpp"
+
+namespace cts::fit {
+
+/// Operating point for order selection.
+struct OrderSelectionProblem {
+  double mean = 500.0;
+  double variance = 5000.0;
+  double bandwidth = 538.0;        ///< c, cells/frame per source
+  double buffer_per_source = 0.0;  ///< b, cells
+  std::size_t n_sources = 30;
+  /// Convergence criterion: |log10 BOP(p) - log10 BOP(p+1)| below this.
+  double tolerance_decades = 0.1;
+  std::size_t max_order = 64;
+
+  void validate() const;
+};
+
+/// Result of an order selection.
+struct OrderSelection {
+  std::size_t order = 1;          ///< selected p
+  double log10_bop = 0.0;         ///< prediction at that order
+  double target_log10_bop = 0.0;  ///< prediction using the full target ACF
+  /// log10 BOP at each tried order (index 0 <-> p = 1).
+  std::vector<double> trace;
+};
+
+/// Selects the smallest DAR order whose BOP prediction is stable, fitting
+/// DAR(p) to the first p lags of `target` for p = 1, 2, ....  Throws
+/// util::NumericalError if no order below max_order converges (shouldn't
+/// happen while the CTS is finite) and util::InvalidArgument if some
+/// prefix is not DAR-representable.
+OrderSelection select_dar_order(const core::AcfModel& target,
+                                const OrderSelectionProblem& problem);
+
+}  // namespace cts::fit

@@ -1,0 +1,36 @@
+// Fitting the pure-LRD model L to the ACF tail of Z^a (Table 1, item 7).
+//
+// L is an FBNDP whose marginal is pinned to the common N(mu, sigma^2); that
+// pins its ACF weight to w = 1 - mu/sigma^2 (independent of alpha!), so the
+// only freedom is alpha.  The fit minimises the squared log-distance
+//
+//   sum_{k in tail} [ log r_L(k; alpha) - log r_target(k) ]^2
+//
+// over a lag window (default 100..1000, the paper's "tail"), by golden-
+// section search.  Because the v/(v+1) factor in eq. (5) halves the target
+// amplitude, the best alpha is strictly below the target's own alpha --
+// exactly why the paper lands on alpha = 0.72 for L versus 0.8 for Z^a.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace cts::fit {
+
+/// Result of the tail fit.
+struct TailFit {
+  double alpha = 0.72;        ///< fitted fractal exponent of L
+  double hurst = 0.86;        ///< (alpha+1)/2
+  double objective = 0.0;     ///< sum of squared log residuals at optimum
+};
+
+/// Fits alpha in (alpha_lo, alpha_hi) so that the exact-LRD ACF with weight
+/// `weight` best matches `target_acf` over lags [lag_lo, lag_hi] in log
+/// space.  `target_acf(k)` must be positive on the window.
+TailFit fit_lrd_tail(const std::function<double(std::size_t)>& target_acf,
+                     double weight, std::size_t lag_lo = 100,
+                     std::size_t lag_hi = 1000, double alpha_lo = 0.05,
+                     double alpha_hi = 0.95);
+
+}  // namespace cts::fit

@@ -1,0 +1,26 @@
+// Calibration of the V^v family (Table 1, item 3).
+//
+// V^v mixes FBNDP (weight v/(v+1)) and DAR(1) (weight 1/(v+1)).  The study
+// design requires all v variants to share the SAME first-lag correlation,
+// so only the long-term correlations differ.  Given the mixture first lag
+// target r1*, the DAR(1) coefficient solves
+//
+//   a(v) = (v+1) r1* - v rX1,     rX1 = w_X (2^alpha - 1),
+//
+// where rX1 is the FBNDP lag-1 autocorrelation.  The reference target r1*
+// is taken from the v = 1 case with a = 0.8 (the paper's anchor row).
+
+#pragma once
+
+namespace cts::fit {
+
+/// FBNDP lag-1 autocorrelation for ACF weight `weight` and exponent alpha:
+/// rX(1) = weight * (2^alpha - 1).
+double fbndp_first_lag(double weight, double alpha);
+
+/// DAR(1) coefficient pinning the mixture first lag to `target_r1`:
+/// a = (v+1) target_r1 - v * rX1.  Throws util::InvalidArgument when the
+/// result falls outside [0, 1) (infeasible pinning).
+double calibrate_dar1_coefficient(double v, double fbndp_r1, double target_r1);
+
+}  // namespace cts::fit

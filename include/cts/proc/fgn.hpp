@@ -1,0 +1,92 @@
+// Fractional Gaussian noise (FGN) frame sources.
+//
+// FGN is the canonical exact-LRD Gaussian process: r(k) =
+// (1/2)[ (k+1)^{2H} - 2k^{2H} + (k-1)^{2H} ], i.e. the paper's eq. (2) with
+// g(T_s) = 1.  Two generators are provided:
+//
+//  * FgnHosking     -- exact conditional sampling (Hosking 1984 recursion);
+//                      O(n) memory, O(n) work per sample, statistically
+//                      exact at every prefix.  Use for tests and moderate n.
+//  * FgnDaviesHarte -- exact block sampling via circulant embedding + FFT;
+//                      O(n log n) per block.  Successive blocks are
+//                      independent (correlation across block boundaries is
+//                      truncated), which is the standard trade-off for long
+//                      streams; pick the block length >> the lags you care
+//                      about.
+//
+// FGN is not one of the paper's four models but is the reference process of
+// its eq. (2) and the natural validation target for the Hurst estimators.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cts/proc/frame_source.hpp"
+#include "cts/util/rng.hpp"
+
+namespace cts::proc {
+
+/// Exact FGN autocorrelation r(k) for Hurst parameter `hurst`; r(0) = 1.
+double fgn_acf(std::size_t k, double hurst);
+
+/// Shared FGN parameter set.
+struct FgnParams {
+  double hurst = 0.8;       ///< Hurst parameter in (0, 1)
+  double mean = 500.0;      ///< marginal mean (cells/frame)
+  double variance = 5000.0; ///< marginal variance
+
+  void validate() const;
+};
+
+/// Hosking-recursion FGN source (exact, incremental).
+class FgnHosking final : public FrameSource {
+ public:
+  FgnHosking(const FgnParams& params, std::uint64_t seed);
+
+  double next_frame() override;
+  double mean() const override { return params_.mean; }
+  double variance() const override { return params_.variance; }
+  std::unique_ptr<FrameSource> clone(std::uint64_t seed) const override;
+  std::string name() const override;
+
+ private:
+  FgnParams params_;
+  util::Xoshiro256pp rng_;
+  util::NormalSampler normal_;
+  /// Levinson-Durbin state: partial-correlation history.
+  std::vector<double> phi_;
+  std::vector<double> history_;  ///< past standardized samples, newest last
+  double prediction_variance_ = 1.0;
+};
+
+/// Davies-Harte block FGN source (exact within each block).
+class FgnDaviesHarte final : public FrameSource {
+ public:
+  /// `block_len` is rounded up to a power of two; must be >= 2.
+  FgnDaviesHarte(const FgnParams& params, std::size_t block_len,
+                 std::uint64_t seed);
+
+  double next_frame() override;
+  double mean() const override { return params_.mean; }
+  double variance() const override { return params_.variance; }
+  std::unique_ptr<FrameSource> clone(std::uint64_t seed) const override;
+  std::string name() const override;
+
+  std::size_t block_length() const noexcept { return block_len_; }
+
+ private:
+  void refill();
+
+  FgnParams params_;
+  std::size_t block_len_;
+  util::Xoshiro256pp rng_;
+  util::NormalSampler normal_;
+  std::vector<double> eigenvalues_;  ///< circulant spectrum, precomputed
+  std::vector<double> block_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cts::proc

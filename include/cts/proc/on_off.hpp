@@ -1,0 +1,85 @@
+// Fractal ON/OFF renewal process (the atom of the FBNDP model).
+//
+// ON and OFF sojourns are i.i.d. with the hybrid exponential/Pareto density
+// of Ryu & Lowen:
+//
+//   p(t) = (gamma/A) e^{-gamma t / A}          for t <= A,
+//          gamma e^{-gamma} A^gamma t^{-(gamma+1)}  for t >  A,
+//
+// with gamma = 2 - alpha in (1, 2) so the mean is finite but the variance
+// infinite -- the source of long-range dependence.  The process is started
+// in its stationary regime: the initial state is ON with probability 1/2
+// and the residual sojourn is drawn from the equilibrium (integrated-tail)
+// distribution, which keeps count statistics stationary from time zero.
+
+#pragma once
+
+#include <cstdint>
+
+#include "cts/util/rng.hpp"
+
+namespace cts::proc {
+
+/// Parameters of a fractal ON/OFF process.
+struct OnOffParams {
+  /// Fractal exponent alpha in (0, 1); gamma = 2 - alpha.
+  double alpha = 0.8;
+  /// Crossover scale A > 0 (seconds) between exponential body and Pareto tail.
+  double A = 1.0;
+
+  /// Validates ranges; throws util::InvalidArgument on violation.
+  void validate() const;
+
+  double gamma() const noexcept { return 2.0 - alpha; }
+
+  /// Mean sojourn duration E[T] (seconds); closed form.
+  double mean_sojourn() const noexcept;
+
+  /// Survival function P(T > t) of a sojourn.
+  double sojourn_survival(double t) const noexcept;
+
+  /// Inverse-CDF sample of a sojourn duration.
+  double sample_sojourn(util::Xoshiro256pp& rng) const noexcept;
+
+  /// Sample of the *equilibrium residual* sojourn (density S(t)/E[T]);
+  /// used for stationary initialisation.
+  double sample_equilibrium_residual(util::Xoshiro256pp& rng) const noexcept;
+};
+
+/// One fractal ON/OFF source evolving in continuous time.
+///
+/// The advance loop is the hot path of every FBNDP simulation (the paper's
+/// alpha = 0.9 parameterisations produce thousands of transitions per
+/// frame), so the distribution constants are precomputed at construction
+/// and sojourns are sampled inline.
+class FractalOnOff {
+ public:
+  /// Constructs in the stationary regime using `rng` for initialisation.
+  FractalOnOff(const OnOffParams& params, util::Xoshiro256pp rng);
+
+  /// Advances the process by `dt` seconds and returns the total time spent
+  /// ON during that window (in [0, dt]).
+  double on_time_in(double dt) noexcept;
+
+  bool is_on() const noexcept { return on_; }
+
+  const OnOffParams& params() const noexcept { return params_; }
+
+ private:
+  /// Inverse-CDF sojourn sample using the precomputed constants; identical
+  /// in distribution to OnOffParams::sample_sojourn.
+  double sample_sojourn_fast() noexcept;
+
+  OnOffParams params_;
+  util::Xoshiro256pp rng_;
+  bool on_ = false;
+  /// Remaining time in the current sojourn (seconds).
+  double residual_ = 0.0;
+  // Precomputed sampling constants.
+  double body_mass_ = 0.0;     ///< 1 - e^{-gamma}
+  double neg_a_over_g_ = 0.0;  ///< -A / gamma
+  double exp_neg_g_ = 0.0;     ///< e^{-gamma}
+  double inv_g_ = 0.0;         ///< 1 / gamma
+};
+
+}  // namespace cts::proc

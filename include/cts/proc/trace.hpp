@@ -1,0 +1,60 @@
+// Frame-size trace I/O and replay.
+//
+// The studies this paper argues with (Beran et al., Garrett & Willinger,
+// Heyman & Lakshman) all work from captured frame-size traces (Star Wars,
+// videoconference recordings).  This module lets users bring their own:
+// load a trace file (one frame size per line, '#' comments), replay it as
+// a FrameSource (with optional wraparound and a random start phase), and
+// write generated traces back out for external analysis.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cts/proc/frame_source.hpp"
+#include "cts/util/rng.hpp"
+
+namespace cts::proc {
+
+/// Loads a whitespace/newline-separated trace of frame sizes.  Lines that
+/// are empty or start with '#' are skipped.  Throws util::InvalidArgument
+/// on unreadable files or unparsable tokens.
+std::vector<double> load_trace(const std::string& path);
+
+/// Writes a trace, one value per line, with an optional header comment.
+/// Returns false if the file cannot be written.
+bool save_trace(const std::string& path, const std::vector<double>& trace,
+                const std::string& comment = "");
+
+/// Replays a recorded trace as a FrameSource.
+///
+/// `randomize_phase` starts each clone at an independent uniform offset --
+/// the standard trick for multiplexing N "independent" sources from one
+/// recording (used by Heyman & Lakshman and Elwalid et al.).
+class TraceSource final : public FrameSource {
+ public:
+  TraceSource(std::vector<double> trace, std::uint64_t seed,
+              bool randomize_phase = true);
+
+  double next_frame() override;
+  /// Sample mean/variance of the recording (the "analytic" moments of a
+  /// trace are its empirical ones).
+  double mean() const override { return mean_; }
+  double variance() const override { return variance_; }
+  std::unique_ptr<FrameSource> clone(std::uint64_t seed) const override;
+  std::string name() const override;
+
+  std::size_t length() const noexcept { return trace_->size(); }
+
+ private:
+  std::shared_ptr<const std::vector<double>> trace_;  ///< shared by clones
+  double mean_;
+  double variance_;
+  bool randomize_phase_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cts::proc

@@ -1,0 +1,85 @@
+// High-level experiment curves: CLR-vs-buffer and BOP-vs-buffer series.
+//
+// Glue between the model zoo, the asymptotics and the simulator; every
+// figure bench is a thin formatter over these.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cts/core/br_asymptotic.hpp"
+#include "cts/fit/model_zoo.hpp"
+#include "cts/sim/replication.hpp"
+
+namespace cts::sim {
+
+/// Link/multiplexer geometry shared by the figures: N sources, per-source
+/// bandwidth c (cells/frame), frame duration Ts.
+struct MuxGeometry {
+  std::size_t n_sources = 30;
+  double bandwidth_per_source = 538.0;  ///< c, cells/frame
+  double Ts = 0.04;                     ///< seconds/frame
+
+  double total_capacity() const { return static_cast<double>(n_sources) * bandwidth_per_source; }
+
+  /// Total-buffer conversion between milliseconds of maximum delay and
+  /// cells: B_cells = B_ms/1000 * (C/Ts) where C/Ts is the drain rate in
+  /// cells/second.
+  double buffer_ms_to_cells(double ms) const {
+    return ms / 1000.0 * total_capacity() / Ts;
+  }
+  double buffer_cells_to_ms(double cells) const {
+    return cells * Ts / total_capacity() * 1000.0;
+  }
+};
+
+/// One analytic BOP series (B-R asymptotic) over a buffer grid.
+struct AnalyticCurve {
+  std::string model;
+  std::vector<double> buffer_ms;        ///< total buffer (msec of delay)
+  std::vector<double> log10_bop;
+  std::vector<std::size_t> critical_m;  ///< CTS at each point
+};
+
+/// Evaluates the B-R asymptotic of `model` on a grid of total-buffer sizes
+/// (msec).  Per-source values b = B/N and the model's own (mu, sigma^2,
+/// r) feed the rate function.
+AnalyticCurve br_curve(const fit::ModelSpec& model, const MuxGeometry& geometry,
+                       const std::vector<double>& buffer_ms);
+
+/// Same grid evaluated with the Large-N asymptotic.
+AnalyticCurve large_n_curve(const fit::ModelSpec& model,
+                            const MuxGeometry& geometry,
+                            const std::vector<double>& buffer_ms);
+
+/// CTS (m*) as a function of total buffer.
+AnalyticCurve cts_curve(const fit::ModelSpec& model, const MuxGeometry& geometry,
+                        const std::vector<double>& buffer_ms);
+
+/// One simulated CLR series over a buffer grid.
+struct SimulatedCurve {
+  std::string model;
+  std::vector<double> buffer_ms;
+  std::vector<double> clr;         ///< pooled CLR estimates
+  std::vector<double> ci_low;      ///< replication CI bounds (mean-based)
+  std::vector<double> ci_high;
+  std::uint64_t total_frames = 0;
+};
+
+/// Runs the replication harness for `model` over the buffer grid.
+SimulatedCurve simulated_clr_curve(const fit::ModelSpec& model,
+                                   const MuxGeometry& geometry,
+                                   const std::vector<double>& buffer_ms,
+                                   const ReplicationConfig& scale);
+
+/// Geometric buffer grid in msec, inclusive of both endpoints.
+std::vector<double> buffer_grid_ms(double lo_ms, double hi_ms,
+                                   std::size_t points);
+
+/// Linear buffer grid in msec.
+std::vector<double> linear_grid_ms(double lo_ms, double hi_ms,
+                                   std::size_t points);
+
+}  // namespace cts::sim

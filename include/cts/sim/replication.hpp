@@ -1,0 +1,71 @@
+// Multithreaded independent-replication harness.
+//
+// The paper estimates each CLR point from 60 replications of 500k frames.
+// This harness runs R independent replications of a fluid-mux experiment
+// across a thread pool.  Seeds are derived deterministically from
+// (master_seed, replication index, source index), so the results are
+// bit-identical for any thread count.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cts/fit/model_zoo.hpp"
+#include "cts/sim/fluid_mux.hpp"
+#include "cts/stats/batch.hpp"
+
+namespace cts::sim {
+
+/// Configuration of a replication experiment.
+struct ReplicationConfig {
+  std::size_t replications = 12;
+  std::uint64_t frames_per_replication = 120000;
+  std::uint64_t warmup_frames = 2000;
+  std::size_t n_sources = 30;
+  double capacity_cells = 16140.0;  ///< total C (cells/frame)
+  std::vector<double> buffer_sizes_cells;
+  std::vector<double> bop_thresholds_cells;
+  std::uint64_t master_seed = 0x5EEDC0DEULL;
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// Aggregated outcome for one buffer size.
+struct ClrEstimate {
+  double buffer_cells = 0.0;
+  stats::IntervalEstimate clr;      ///< mean CLR across replications
+  double pooled_clr = 0.0;          ///< total lost / total arrived
+};
+
+/// Aggregated outcome for one BOP threshold.
+struct BopEstimate {
+  double threshold_cells = 0.0;
+  stats::IntervalEstimate bop;
+  double pooled_bop = 0.0;
+};
+
+/// Full result of a replication experiment.
+struct ReplicationResult {
+  std::vector<ClrEstimate> clr;
+  std::vector<BopEstimate> bop;
+  double total_arrived_cells = 0.0;
+  std::uint64_t total_frames = 0;
+};
+
+/// Runs `config.replications` independent fluid-mux runs of N i.i.d. copies
+/// of `model` and aggregates the tallies.
+ReplicationResult run_replicated(const fit::ModelSpec& model,
+                                 const ReplicationConfig& config);
+
+/// Scale presets: `paper_scale()` reproduces the paper's 60 x 500k frames;
+/// `default_scale()` is the CI-friendly default.  REPRO_FULL=1 in the
+/// environment switches the bench harness to paper scale.
+ReplicationConfig default_scale();
+ReplicationConfig paper_scale();
+
+/// Applies REPRO_FULL / REPRO_REPS / REPRO_FRAMES environment overrides to
+/// a base configuration.
+ReplicationConfig apply_env_overrides(ReplicationConfig config);
+
+}  // namespace cts::sim

@@ -1,0 +1,36 @@
+// Empirical autocorrelation estimation.
+//
+// The validation experiments compare analytic ACFs (core/acf_model) against
+// sample ACFs of generated traces; the estimators here use the standard
+// biased (1/n) normalisation, which is positive semi-definite and the one
+// used throughout the LRD literature.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cts::stats {
+
+/// Sample mean of `series`.
+double sample_mean(const std::vector<double>& series);
+
+/// Sample variance (biased, 1/n) of `series`.
+double sample_variance(const std::vector<double>& series);
+
+/// Sample autocovariance at lags 0..max_lag (biased normalisation):
+///   gamma(k) = (1/n) sum_{t=1}^{n-k} (x_t - m)(x_{t+k} - m).
+/// Requires max_lag < series.size().
+std::vector<double> autocovariance(const std::vector<double>& series,
+                                   std::size_t max_lag);
+
+/// Sample autocorrelation r(0..max_lag) = gamma(k)/gamma(0).
+std::vector<double> autocorrelation(const std::vector<double>& series,
+                                    std::size_t max_lag);
+
+/// Aggregates the series over non-overlapping blocks of length m
+/// (block means).  Used by the variance-time Hurst estimator.
+std::vector<double> aggregate_series(const std::vector<double>& series,
+                                     std::size_t m);
+
+}  // namespace cts::stats

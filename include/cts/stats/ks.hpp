@@ -1,0 +1,29 @@
+// One-sample Kolmogorov-Smirnov test against the normal distribution.
+//
+// Table 1 of the paper hinges on all four models sharing one Gaussian
+// marginal; the simulation tests verify this with a KS check on generated
+// frame sizes.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cts::stats {
+
+/// Result of a KS test.
+struct KsResult {
+  double statistic = 0.0;  ///< sup-norm distance D_n
+  double p_value = 1.0;    ///< asymptotic Kolmogorov p-value
+};
+
+/// KS statistic of `sample` against N(mean, variance).  The sample is
+/// copied and sorted internally.
+KsResult ks_test_normal(std::vector<double> sample, double mean,
+                        double variance);
+
+/// Asymptotic Kolmogorov distribution complement Q(x) = P(K > x),
+/// Q(x) = 2 sum_{j>=1} (-1)^{j-1} exp(-2 j^2 x^2).
+double kolmogorov_q(double x);
+
+}  // namespace cts::stats

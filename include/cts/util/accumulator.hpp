@@ -1,0 +1,96 @@
+// Online statistics accumulators.
+//
+// Replication experiments estimate cell-loss rates as low as 1e-7 from
+// billions of samples, so the accumulators must be numerically stable
+// (Welford updates, Kahan-compensated totals) and mergeable (per-thread
+// accumulation followed by a reduction).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cmath>
+#include <limits>
+
+namespace cts::util {
+
+/// Welford mean/variance accumulator with O(1) updates and exact merging.
+class MomentAccumulator {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Merges another accumulator into this one (Chan et al. parallel update).
+  void merge(const MomentAccumulator& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+
+  /// Unbiased sample variance; 0 when fewer than two samples were added.
+  double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Standard error of the mean; 0 when fewer than two samples were added.
+  double standard_error() const noexcept {
+    return count_ > 1 ? std::sqrt(variance() / static_cast<double>(count_))
+                      : 0.0;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Kahan-compensated running sum for loss/arrival cell totals whose partial
+/// sums span many orders of magnitude.
+class CompensatedSum {
+ public:
+  void add(double x) noexcept {
+    const double y = x - compensation_;
+    const double t = sum_ + y;
+    compensation_ = (t - sum_) - y;
+    sum_ = t;
+  }
+
+  void merge(const CompensatedSum& other) noexcept {
+    add(other.sum_);
+    add(-other.compensation_);
+  }
+
+  double value() const noexcept { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+}  // namespace cts::util

@@ -1,0 +1,35 @@
+// CSV output for experiment series.
+//
+// Each bench binary can mirror its printed table into a CSV file (under
+// CTS_OUTPUT_DIR or the working directory) so the figures can be re-plotted
+// with external tooling.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cts::util {
+
+/// Accumulates rows and writes an RFC-4180-style CSV file.  Values
+/// containing commas, quotes or newlines are quoted and escaped.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Writes to `path`, overwriting.  Returns false (and leaves no partial
+  /// file guarantee) when the file cannot be opened.
+  bool write(const std::string& path) const;
+
+  std::string render() const;
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cts::util

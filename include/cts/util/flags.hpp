@@ -1,0 +1,43 @@
+// Tiny command-line / environment flag parser for benches and examples.
+//
+// Experiments accept overrides like --frames=500000 --reps=60 and honour
+// the REPRO_FULL=1 environment switch that selects the paper's full
+// simulation scale.  This parser supports only what the harness needs:
+// --key=value and --key value pairs plus boolean --key.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace cts::util {
+
+/// Parsed command-line flags with typed accessors and defaults.
+class Flags {
+ public:
+  /// Parses argv; unknown positional arguments are ignored.  Throws
+  /// InvalidArgument on a malformed flag token (e.g. "--=3").
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// True when environment variable `name` is set to a truthy value
+/// ("1", "true", "yes", "on", case-insensitive).
+bool env_flag(const std::string& name);
+
+/// Reads an integer environment variable, returning `fallback` when unset
+/// or unparsable.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+}  // namespace cts::util

@@ -1,0 +1,42 @@
+// Plain-text table rendering for the experiment harness.
+//
+// Every bench binary prints the rows/series of one table or figure of the
+// paper; this module renders them as aligned monospace tables so the output
+// is directly comparable to the published plots.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cts::util {
+
+/// Column-aligned text table.  Cells are strings; numeric helpers format
+/// with a chosen precision or scientific notation for probabilities.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; its width must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with a header underline and two-space column gaps.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal formatting ("3.1416" for format_fixed(pi, 4)).
+std::string format_fixed(double value, int precision);
+
+/// Scientific formatting suited to probabilities ("1.234e-06").
+std::string format_sci(double value, int precision = 3);
+
+/// Formats an integer count with no decimals.
+std::string format_int(long long value);
+
+}  // namespace cts::util

@@ -1,0 +1,86 @@
+#include "cts/atm/cac.hpp"
+
+#include <cmath>
+
+#include "cts/core/br_asymptotic.hpp"
+#include "cts/core/effective_bandwidth.hpp"
+#include "cts/core/rate_function.hpp"
+#include "cts/util/error.hpp"
+
+namespace cts::atm {
+
+void CacProblem::validate() const {
+  util::require(capacity_cells_per_frame > 0.0,
+                "CacProblem: capacity must be > 0");
+  util::require(buffer_cells >= 0.0, "CacProblem: buffer must be >= 0");
+  util::require(log10_target_clr < 0.0,
+                "CacProblem: target CLR must be below 1 (log10 < 0)");
+}
+
+namespace {
+
+/// log10 BOP for N connections of `model` on the problem's link, or +inf
+/// when N is infeasible (c <= mu).
+double log10_bop_for_n(const fit::ModelSpec& model, const CacProblem& problem,
+                       std::size_t n) {
+  const double c =
+      problem.capacity_cells_per_frame / static_cast<double>(n);
+  if (c <= model.mean) return 0.0;  // unstable: probability ~1
+  const double b = problem.buffer_cells / static_cast<double>(n);
+  core::RateFunction rate(model.acf, model.mean, model.variance, c);
+  return core::br_log10_bop(rate, b, n).log10_bop;
+}
+
+}  // namespace
+
+CacResult admissible_connections_br(const fit::ModelSpec& model,
+                                    const CacProblem& problem) {
+  problem.validate();
+  util::require(model.mean > 0.0, "admissible_connections_br: bad model");
+
+  // Hard upper bound: stability requires N < C/mu.
+  const auto n_max = static_cast<std::size_t>(
+      std::floor(problem.capacity_cells_per_frame / model.mean));
+  CacResult result;
+  if (n_max == 0) return result;
+  if (log10_bop_for_n(model, problem, 1) > problem.log10_target_clr) {
+    return result;  // even one connection misses the QOS target
+  }
+  // Binary search for the largest feasible N; BOP is monotone increasing
+  // in N on this fixed link.
+  std::size_t lo = 1;        // feasible
+  std::size_t hi = n_max;    // possibly infeasible
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo + 1) / 2;
+    if (log10_bop_for_n(model, problem, mid) <= problem.log10_target_clr) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  result.admissible = lo;
+  result.log10_bop_at_max = log10_bop_for_n(model, problem, lo);
+  return result;
+}
+
+CacResult admissible_connections_eb(const fit::ModelSpec& model,
+                                    const CacProblem& problem) {
+  problem.validate();
+  util::require(problem.buffer_cells > 0.0,
+                "admissible_connections_eb: EB needs a positive buffer");
+  const double v_rate =
+      core::asymptotic_variance_rate(*model.acf, model.variance);
+  const double delta = core::decay_rate_for_target(problem.log10_target_clr,
+                                                   problem.buffer_cells);
+  const double eb = core::effective_bandwidth(model.mean, v_rate, delta);
+  CacResult result;
+  result.admissible = static_cast<std::size_t>(
+      std::floor(problem.capacity_cells_per_frame / eb));
+  if (result.admissible > 0) {
+    result.log10_bop_at_max =
+        -delta * problem.buffer_cells / std::log(10.0);
+  }
+  return result;
+}
+
+}  // namespace cts::atm

@@ -1,0 +1,77 @@
+#include "cts/atm/cell.hpp"
+
+#include "cts/util/error.hpp"
+
+namespace cts::atm {
+
+void CellHeader::validate() const {
+  util::require(gfc <= 0x0F, "CellHeader: GFC is 4 bits");
+  util::require(pt <= 0x07, "CellHeader: PT is 3 bits");
+  // vpi is naturally bounded by uint8 for UNI; vci by uint16.
+}
+
+std::uint8_t hec_crc8(const std::uint8_t* data, std::size_t len) {
+  // Bitwise CRC with generator 0x07 (x^8 + x^2 + x + 1), MSB-first.
+  std::uint8_t crc = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc ^= data[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = static_cast<std::uint8_t>((crc & 0x80) ? (crc << 1) ^ 0x07
+                                                   : (crc << 1));
+    }
+  }
+  return static_cast<std::uint8_t>(crc ^ 0x55);  // ITU I.432 coset
+}
+
+std::array<std::uint8_t, kHeaderBytes> encode_header(const CellHeader& h) {
+  h.validate();
+  std::array<std::uint8_t, kHeaderBytes> bytes{};
+  bytes[0] = static_cast<std::uint8_t>((h.gfc << 4) | (h.vpi >> 4));
+  bytes[1] = static_cast<std::uint8_t>(((h.vpi & 0x0F) << 4) |
+                                       ((h.vci >> 12) & 0x0F));
+  bytes[2] = static_cast<std::uint8_t>((h.vci >> 4) & 0xFF);
+  bytes[3] = static_cast<std::uint8_t>(((h.vci & 0x0F) << 4) | (h.pt << 1) |
+                                       (h.clp ? 1 : 0));
+  bytes[4] = hec_crc8(bytes.data(), 4);
+  return bytes;
+}
+
+std::optional<CellHeader> decode_header(
+    const std::array<std::uint8_t, kHeaderBytes>& bytes) {
+  if (hec_crc8(bytes.data(), 4) != bytes[4]) return std::nullopt;
+  CellHeader h;
+  h.gfc = static_cast<std::uint8_t>(bytes[0] >> 4);
+  h.vpi = static_cast<std::uint8_t>(((bytes[0] & 0x0F) << 4) |
+                                    (bytes[1] >> 4));
+  h.vci = static_cast<std::uint16_t>(((bytes[1] & 0x0F) << 12) |
+                                     (bytes[2] << 4) | (bytes[3] >> 4));
+  h.pt = static_cast<std::uint8_t>((bytes[3] >> 1) & 0x07);
+  h.clp = (bytes[3] & 0x01) != 0;
+  return h;
+}
+
+std::array<std::uint8_t, kCellBytes> encode_cell(const Cell& cell) {
+  std::array<std::uint8_t, kCellBytes> bytes{};
+  const auto header = encode_header(cell.header);
+  for (std::size_t i = 0; i < kHeaderBytes; ++i) bytes[i] = header[i];
+  for (std::size_t i = 0; i < kPayloadBytes; ++i) {
+    bytes[kHeaderBytes + i] = cell.payload[i];
+  }
+  return bytes;
+}
+
+std::optional<Cell> decode_cell(
+    const std::array<std::uint8_t, kCellBytes>& bytes) {
+  std::array<std::uint8_t, kHeaderBytes> header_bytes{};
+  for (std::size_t i = 0; i < kHeaderBytes; ++i) header_bytes[i] = bytes[i];
+  const auto header = decode_header(header_bytes);
+  if (!header) return std::nullopt;
+  Cell cell;
+  cell.header = *header;
+  for (std::size_t i = 0; i < kPayloadBytes; ++i) {
+    cell.payload[i] = bytes[kHeaderBytes + i];
+  }
+  return cell;
+}
+
+}  // namespace cts::atm

@@ -1,0 +1,74 @@
+#include "cts/atm/gcra.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cts/util/error.hpp"
+
+namespace cts::atm {
+
+Gcra::Gcra(double increment, double limit)
+    : increment_(increment), limit_(limit) {
+  util::require(increment > 0.0, "Gcra: increment must be > 0");
+  util::require(limit >= 0.0, "Gcra: limit must be >= 0");
+}
+
+bool Gcra::conforms(double t) {
+  if (first_) {
+    first_ = false;
+    tat_ = t + increment_;
+    return true;
+  }
+  if (t < tat_ - limit_) {
+    return false;  // too early: non-conforming, state unchanged
+  }
+  tat_ = std::max(tat_, t) + increment_;
+  return true;
+}
+
+void Gcra::reset() {
+  tat_ = 0.0;
+  first_ = true;
+}
+
+DualLeakyBucket::DualLeakyBucket(double peak_rate, double cdv_tolerance,
+                                 double sustainable_rate,
+                                 double burst_tolerance)
+    : peak_(1.0 / peak_rate, cdv_tolerance),
+      sustainable_(1.0 / sustainable_rate, burst_tolerance) {
+  util::require(peak_rate >= sustainable_rate,
+                "DualLeakyBucket: PCR must be >= SCR");
+}
+
+bool DualLeakyBucket::conforms(double t) {
+  // Conformance requires both buckets; evaluate both so a cell rejected by
+  // one does not advance the other asymmetrically.  Per I.371, a
+  // non-conforming cell advances neither bucket: test first, then commit.
+  const bool peak_early = [&] {
+    Gcra probe = peak_;
+    return !probe.conforms(t);
+  }();
+  const bool scr_early = [&] {
+    Gcra probe = sustainable_;
+    return !probe.conforms(t);
+  }();
+  if (peak_early || scr_early) return false;
+  peak_.conforms(t);
+  sustainable_.conforms(t);
+  return true;
+}
+
+void DualLeakyBucket::reset() {
+  peak_.reset();
+  sustainable_.reset();
+}
+
+double DualLeakyBucket::max_burst_size() const {
+  const double t_scr = sustainable_.increment();
+  const double t_pcr = peak_.increment();
+  util::require(t_scr > t_pcr,
+                "DualLeakyBucket: MBS undefined when SCR == PCR");
+  return 1.0 + std::floor(sustainable_.limit() / (t_scr - t_pcr));
+}
+
+}  // namespace cts::atm

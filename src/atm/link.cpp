@@ -1,0 +1,35 @@
+#include "cts/atm/link.hpp"
+
+#include "cts/atm/cell.hpp"
+#include "cts/util/error.hpp"
+
+namespace cts::atm {
+
+Link::Link(double bits_per_second) : bits_per_second_(bits_per_second) {
+  util::require(bits_per_second > 0.0, "Link: rate must be > 0");
+}
+
+double Link::cells_per_second() const noexcept {
+  return bits_per_second_ / (static_cast<double>(kCellBytes) * 8.0);
+}
+
+double Link::cells_per_frame(double Ts) const {
+  util::require(Ts > 0.0, "Link::cells_per_frame: Ts must be > 0");
+  return cells_per_second() * Ts;
+}
+
+double Link::buffer_delay_ms(double buffer_cells) const {
+  util::require(buffer_cells >= 0.0,
+                "Link::buffer_delay_ms: buffer must be >= 0");
+  return buffer_cells / cells_per_second() * 1000.0;
+}
+
+double Link::buffer_cells_for_delay_ms(double ms) const {
+  util::require(ms >= 0.0,
+                "Link::buffer_cells_for_delay_ms: delay must be >= 0");
+  return ms / 1000.0 * cells_per_second();
+}
+
+double Link::cell_time() const noexcept { return 1.0 / cells_per_second(); }
+
+}  // namespace cts::atm

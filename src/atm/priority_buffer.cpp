@@ -1,0 +1,163 @@
+#include "cts/atm/priority_buffer.hpp"
+
+#include <algorithm>
+
+#include "cts/util/error.hpp"
+
+namespace cts::atm {
+
+void PrioritySharingConfig::validate() const {
+  util::require(capacity_cells > 0.0,
+                "PrioritySharingConfig: capacity must be > 0");
+  util::require(buffer_cells >= 0.0,
+                "PrioritySharingConfig: buffer must be >= 0");
+  util::require(threshold_cells >= 0.0 &&
+                    threshold_cells <= buffer_cells,
+                "PrioritySharingConfig: need 0 <= threshold <= buffer");
+}
+
+namespace {
+
+/// Exact within-frame fluid dynamics for the two-priority policy.
+///
+/// Rates are constant over the frame (deterministic smoothing): high fluid
+/// at rate `ah`, low fluid at rate `al`, service at rate `c` (all in
+/// cells/frame over t in [0,1]).  Low fluid is blocked while q >= S, high
+/// fluid while q >= B.  Piecewise-linear evolution with sliding modes at S
+/// (low partially admitted) and B (high partially admitted); at most a few
+/// segments per frame.
+struct FrameOutcome {
+  double q = 0.0;
+  double low_lost = 0.0;
+  double high_lost = 0.0;
+};
+
+FrameOutcome evolve_frame(double q0, double ah, double al, double c,
+                          double s, double b) {
+  FrameOutcome out;
+  double q = std::clamp(q0, 0.0, b);
+  double t = 0.0;
+  const double r_low = ah + al - c;  // slope while q < s (everything in)
+  const double r_high = ah - c;      // slope while s <= q <= b (low dropped)
+
+  // With constant rates the trajectory has at most a few linear segments;
+  // each loop iteration completes one segment or finishes the frame.  All
+  // boundary decisions are explicit (no epsilon nudges), so every
+  // iteration makes strict progress in t.
+  for (int iter = 0; iter < 8 && t < 1.0; ++iter) {
+    const double remaining = 1.0 - t;
+    if (q < s) {
+      // Region LOW: everything admitted.
+      if (r_low > 0.0) {
+        const double dt = std::min(remaining, (s - q) / r_low);
+        q += r_low * dt;
+        t += dt;
+        continue;  // may reach the S boundary
+      }
+      if (r_low < 0.0) {
+        const double dt = std::min(remaining, q / (-r_low));
+        q += r_low * dt;
+        t += dt;
+        if (t < 1.0) {  // hit empty; stays empty under constant rates
+          q = 0.0;
+          t = 1.0;
+        }
+        continue;
+      }
+      t = 1.0;  // parked below S; nothing lost
+      break;
+    }
+    if (q <= s) {  // exactly at the S boundary
+      if (r_high > 0.0) {
+        // Pushes up into the HIGH region: handled below as q in (s, b].
+      } else if (r_low > 0.0) {
+        // Sliding mode at S: queue pinned; low admitted at rate (c - ah)
+        // (which is >= 0 here because r_high <= 0), remainder lost.
+        out.low_lost += (al - (c - ah)) * remaining;
+        t = 1.0;
+        q = s;
+        break;
+      } else {
+        // Drains into the LOW region: one LOW segment from q = s.
+        if (r_low < 0.0) {
+          const double dt = std::min(remaining, q / (-r_low));
+          q += r_low * dt;
+          t += dt;
+          if (t < 1.0) {
+            q = 0.0;
+            t = 1.0;
+          }
+        } else {
+          t = 1.0;  // r_low == 0: parked at S, nothing lost
+        }
+        continue;
+      }
+    }
+    // Region HIGH: s <= q <= b, low fluid dropped at rate al.
+    if (q >= b && r_high >= 0.0) {
+      // Stuck full: excess high lost too.
+      out.high_lost += r_high * remaining;
+      out.low_lost += al * remaining;
+      t = 1.0;
+      q = b;
+      break;
+    }
+    if (r_high > 0.0) {
+      const double dt = std::min(remaining, (b - q) / r_high);
+      out.low_lost += al * dt;
+      q += r_high * dt;
+      t += dt;
+      continue;  // may reach B; the stuck branch finishes the frame
+    }
+    if (r_high < 0.0) {
+      const double dt = std::min(remaining, (q - s) / (-r_high));
+      out.low_lost += al * dt;
+      q += r_high * dt;
+      t += dt;
+      continue;  // may reach S; boundary logic decides next
+    }
+    // r_high == 0: parked in the HIGH region; low lost for the rest.
+    out.low_lost += al * remaining;
+    t = 1.0;
+    break;
+  }
+  out.q = std::clamp(q, 0.0, b);
+  return out;
+}
+
+}  // namespace
+
+PrioritySharingResult run_partial_buffer_sharing(
+    std::vector<std::unique_ptr<proc::FrameSource>>& high_sources,
+    std::vector<std::unique_ptr<proc::FrameSource>>& low_sources,
+    const PrioritySharingConfig& config) {
+  config.validate();
+  util::require(!high_sources.empty() || !low_sources.empty(),
+                "run_partial_buffer_sharing: no sources");
+
+  PrioritySharingResult result;
+  result.frames = config.frames;
+  double w = 0.0;
+
+  const std::uint64_t total = config.warmup_frames + config.frames;
+  for (std::uint64_t n = 0; n < total; ++n) {
+    double high = 0.0;
+    for (auto& s : high_sources) high += std::max(s->next_frame(), 0.0);
+    double low = 0.0;
+    for (auto& s : low_sources) low += std::max(s->next_frame(), 0.0);
+
+    const FrameOutcome outcome =
+        evolve_frame(w, high, low, config.capacity_cells,
+                     config.threshold_cells, config.buffer_cells);
+    w = outcome.q;
+    if (n >= config.warmup_frames) {
+      result.high_arrived += high;
+      result.low_arrived += low;
+      result.high_lost += outcome.high_lost;
+      result.low_lost += outcome.low_lost;
+    }
+  }
+  return result;
+}
+
+}  // namespace cts::atm

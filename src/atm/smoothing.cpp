@@ -1,0 +1,28 @@
+#include "cts/atm/smoothing.hpp"
+
+#include "cts/atm/cell.hpp"
+#include "cts/util/error.hpp"
+
+namespace cts::atm {
+
+std::vector<double> smoothing_schedule(std::uint64_t cells, double Ts) {
+  util::require(Ts > 0.0, "smoothing_schedule: Ts must be > 0");
+  std::vector<double> times;
+  times.reserve(cells);
+  for (std::uint64_t j = 0; j < cells; ++j) {
+    times.push_back((static_cast<double>(j) + 0.5) * Ts /
+                    static_cast<double>(cells));
+  }
+  return times;
+}
+
+double smoothing_gap(std::uint64_t cells, double Ts) {
+  util::require(Ts > 0.0, "smoothing_gap: Ts must be > 0");
+  return cells == 0 ? 0.0 : Ts / static_cast<double>(cells);
+}
+
+std::uint64_t cells_for_payload(std::uint64_t payload_bytes) {
+  return (payload_bytes + kPayloadBytes - 1) / kPayloadBytes;
+}
+
+}  // namespace cts::atm

@@ -1,0 +1,158 @@
+#include "cts/core/acf_model.hpp"
+
+#include <cmath>
+
+#include "cts/util/error.hpp"
+#include "cts/util/math.hpp"
+
+namespace cts::core {
+
+GeometricAcf::GeometricAcf(double a) : a_(a) {
+  util::require(a >= 0.0 && a < 1.0, "GeometricAcf: a must be in [0,1)");
+}
+
+double GeometricAcf::at(std::size_t k) const {
+  return std::pow(a_, static_cast<double>(k));
+}
+
+std::string GeometricAcf::name() const {
+  return "geometric(a=" + std::to_string(a_) + ")";
+}
+
+DarAcf::DarAcf(double rho, std::vector<double> lag_probs)
+    : rho_(rho), lag_probs_(std::move(lag_probs)), cache_{1.0} {
+  util::require(rho_ >= 0.0 && rho_ < 1.0, "DarAcf: rho must be in [0,1)");
+  util::require(!lag_probs_.empty(), "DarAcf: need at least one lag prob");
+  double sum = 0.0;
+  for (const double a : lag_probs_) {
+    util::require(a >= -1e-12, "DarAcf: lag probabilities must be >= 0");
+    sum += a;
+  }
+  util::require(std::abs(sum - 1.0) < 1e-9,
+                "DarAcf: lag probabilities must sum to 1");
+}
+
+void DarAcf::extend(std::size_t k) const {
+  const std::size_t p = lag_probs_.size();
+  while (cache_.size() <= k) {
+    const std::size_t n = cache_.size();
+    double acc = 0.0;
+    for (std::size_t i = 1; i <= p; ++i) {
+      const std::size_t lag = n >= i ? n - i : i - n;
+      acc += lag_probs_[i - 1] * cache_[lag];
+    }
+    cache_.push_back(rho_ * acc);
+  }
+}
+
+double DarAcf::at(std::size_t k) const {
+  // The recursion r(n) = rho * sum a_i r(n-i) needs r at |n-i| which for
+  // n < p references lags above n; those are themselves defined by the same
+  // recursion, making the system implicit for the first p-1 lags.  We solve
+  // it by fixed-point iteration over the first p lags (converges
+  // geometrically at rate rho < 1), then extend explicitly.
+  const std::size_t p = lag_probs_.size();
+  if (cache_.size() <= p && k >= 1) {
+    std::vector<double> r(p + 1, 0.0);
+    r[0] = 1.0;
+    for (int iter = 0; iter < 200; ++iter) {
+      double delta = 0.0;
+      for (std::size_t n = 1; n <= p; ++n) {
+        double acc = 0.0;
+        for (std::size_t i = 1; i <= p; ++i) {
+          const std::size_t lag = n >= i ? n - i : i - n;
+          acc += lag_probs_[i - 1] * r[lag];
+        }
+        const double next = rho_ * acc;
+        delta = std::max(delta, std::abs(next - r[n]));
+        r[n] = next;
+      }
+      if (delta < 1e-15) break;
+    }
+    cache_.assign(r.begin(), r.end());
+  }
+  extend(k);
+  return cache_[k];
+}
+
+std::string DarAcf::name() const {
+  return "dar(p=" + std::to_string(lag_probs_.size()) + ")";
+}
+
+ExactLrdAcf::ExactLrdAcf(double hurst, double weight)
+    : hurst_(hurst), weight_(weight) {
+  util::require(hurst > 0.5 && hurst < 1.0,
+                "ExactLrdAcf: H must be in (1/2, 1)");
+  util::require(weight > 0.0 && weight <= 1.0,
+                "ExactLrdAcf: weight must be in (0, 1]");
+}
+
+double ExactLrdAcf::at(std::size_t k) const {
+  if (k == 0) return 1.0;
+  return weight_ * 0.5 *
+         util::second_central_difference_pow(k, 2.0 * hurst_);
+}
+
+std::string ExactLrdAcf::name() const {
+  return "exact-lrd(H=" + std::to_string(hurst_) + ")";
+}
+
+MixtureAcf::MixtureAcf(std::vector<std::shared_ptr<const AcfModel>> components,
+                       std::vector<double> weights, std::string name)
+    : components_(std::move(components)),
+      weights_(std::move(weights)),
+      name_(std::move(name)) {
+  util::require(!components_.empty(), "MixtureAcf: no components");
+  util::require(components_.size() == weights_.size(),
+                "MixtureAcf: component/weight count mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    util::require(components_[i] != nullptr, "MixtureAcf: null component");
+    util::require(weights_[i] >= 0.0, "MixtureAcf: negative weight");
+    sum += weights_[i];
+  }
+  util::require(std::abs(sum - 1.0) < 1e-9,
+                "MixtureAcf: weights must sum to 1");
+}
+
+double MixtureAcf::at(std::size_t k) const {
+  if (k == 0) return 1.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    acc += weights_[i] * components_[i]->at(k);
+  }
+  return acc;
+}
+
+FarimaAcf::FarimaAcf(double d) : d_(d) {
+  util::require(d > 0.0 && d < 0.5, "FarimaAcf: d must be in (0, 1/2)");
+}
+
+void FarimaAcf::extend(std::size_t k) const {
+  while (cache_.size() <= k) {
+    const double n = static_cast<double>(cache_.size());
+    cache_.push_back(cache_.back() * (n - 1.0 + d_) / (n - d_));
+  }
+}
+
+double FarimaAcf::at(std::size_t k) const {
+  extend(k);
+  return cache_[k];
+}
+
+std::string FarimaAcf::name() const {
+  return "farima(d=" + std::to_string(d_) + ")";
+}
+
+TabulatedAcf::TabulatedAcf(std::vector<double> values)
+    : values_(std::move(values)) {
+  util::require(!values_.empty(), "TabulatedAcf: empty table");
+  util::require(std::abs(values_[0] - 1.0) < 1e-9,
+                "TabulatedAcf: r(0) must be 1");
+}
+
+double TabulatedAcf::at(std::size_t k) const {
+  return k < values_.size() ? values_[k] : 0.0;
+}
+
+}  // namespace cts::core

@@ -1,0 +1,51 @@
+#include "cts/core/effective_bandwidth.hpp"
+
+#include <cmath>
+
+#include "cts/util/error.hpp"
+
+namespace cts::core {
+
+double asymptotic_variance_rate(const AcfModel& acf, double variance,
+                                double tol, std::size_t max_terms) {
+  util::require(variance > 0.0,
+                "asymptotic_variance_rate: variance must be > 0");
+  double sum = 0.0;
+  double prev_tail_probe = 0.0;
+  for (std::size_t k = 1; k <= max_terms; ++k) {
+    const double r = acf.at(k);
+    sum += r;
+    // Convergence probe: compare the partial sum against itself one octave
+    // earlier.  Geometric tails settle immediately; power-law (LRD) tails
+    // keep drifting and trip the non-convergence error below.
+    if ((k & (k - 1)) == 0 && k >= 64) {  // k is a power of two
+      if (std::abs(sum - prev_tail_probe) < tol * std::max(1.0, std::abs(sum))) {
+        return variance * (1.0 + 2.0 * sum);
+      }
+      prev_tail_probe = sum;
+    }
+    if (std::abs(r) < tol && k >= 64) {
+      return variance * (1.0 + 2.0 * sum);
+    }
+  }
+  throw util::NumericalError(
+      "asymptotic_variance_rate: sum of autocorrelations did not converge "
+      "(long-range dependence: effective bandwidth does not exist)");
+}
+
+double effective_bandwidth(double mean, double variance_rate, double delta) {
+  util::require(variance_rate >= 0.0,
+                "effective_bandwidth: variance rate must be >= 0");
+  util::require(delta >= 0.0, "effective_bandwidth: delta must be >= 0");
+  return mean + delta * variance_rate / 2.0;
+}
+
+double decay_rate_for_target(double log10_eps, double total_buffer) {
+  util::require(log10_eps < 0.0,
+                "decay_rate_for_target: log10 target must be negative");
+  util::require(total_buffer > 0.0,
+                "decay_rate_for_target: buffer must be > 0");
+  return -log10_eps * std::log(10.0) / total_buffer;
+}
+
+}  // namespace cts::core

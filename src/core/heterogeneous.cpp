@@ -1,0 +1,45 @@
+#include "cts/core/heterogeneous.hpp"
+
+#include "cts/util/error.hpp"
+
+namespace cts::core {
+
+AggregateModel aggregate_population(
+    const std::vector<PopulationClass>& classes) {
+  util::require(!classes.empty(), "aggregate_population: empty population");
+  AggregateModel aggregate;
+  std::vector<std::shared_ptr<const AcfModel>> components;
+  std::vector<double> weights;
+  for (const PopulationClass& cls : classes) {
+    util::require(cls.acf != nullptr, "aggregate_population: null acf");
+    util::require(cls.variance > 0.0,
+                  "aggregate_population: variance must be > 0");
+    if (cls.count == 0) continue;
+    const double n = static_cast<double>(cls.count);
+    aggregate.mean += n * cls.mean;
+    aggregate.variance += n * cls.variance;
+    components.push_back(cls.acf);
+    weights.push_back(n * cls.variance);
+  }
+  util::require(aggregate.variance > 0.0,
+                "aggregate_population: no sources in population");
+  for (auto& w : weights) w /= aggregate.variance;
+  aggregate.acf = std::make_shared<MixtureAcf>(std::move(components),
+                                               std::move(weights),
+                                               "population-aggregate");
+  return aggregate;
+}
+
+BopPoint heterogeneous_br_log10_bop(
+    const std::vector<PopulationClass>& classes, double total_capacity,
+    double total_buffer) {
+  const AggregateModel aggregate = aggregate_population(classes);
+  util::require(total_capacity > aggregate.mean,
+                "heterogeneous_br_log10_bop: capacity must exceed the "
+                "aggregate mean (stability)");
+  RateFunction rate(aggregate.acf, aggregate.mean, aggregate.variance,
+                    total_capacity);
+  return br_log10_bop(rate, total_buffer, 1);
+}
+
+}  // namespace cts::core

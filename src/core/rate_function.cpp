@@ -1,0 +1,77 @@
+#include "cts/core/rate_function.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cts/util/error.hpp"
+
+namespace cts::core {
+
+RateFunction::RateFunction(std::shared_ptr<const AcfModel> acf, double mean,
+                           double variance, double bandwidth)
+    : growth_(std::move(acf), variance), mean_(mean), bandwidth_(bandwidth) {
+  util::require(bandwidth > mean,
+                "RateFunction: bandwidth must exceed the mean (stability)");
+}
+
+RateResult RateFunction::evaluate(double buffer_per_source) const {
+  util::require(buffer_per_source >= 0.0,
+                "RateFunction::evaluate: buffer must be >= 0");
+  const double b = buffer_per_source;
+  const double drift = bandwidth_ - mean_;
+
+  auto objective = [&](std::size_t m) {
+    const double md = static_cast<double>(m);
+    const double numerator = b + md * drift;
+    return numerator * numerator / (2.0 * growth_.at(m));
+  };
+
+  // Guaranteed-coverage scan horizon: the worst-case CTS scaling over all
+  // H < 1 handled in practice (H <= 0.98) plus a generous multiplicative
+  // margin; combined with the "keep going while improving" rule below this
+  // cannot stop before the global integer minimum for objectives whose
+  // tail is eventually increasing (true since V(m) = o(m^2)).
+  constexpr double kWorstCaseHurst = 0.98;
+  constexpr std::size_t kMinScan = 512;
+  constexpr double kScanMargin = 4.0;
+  const double lrd_prediction =
+      kWorstCaseHurst / (1.0 - kWorstCaseHurst) * b / drift;
+  std::size_t horizon = kMinScan;
+  horizon = std::max(horizon, static_cast<std::size_t>(
+                                  std::llround(kScanMargin * lrd_prediction)));
+
+  RateResult best;
+  best.critical_m = 1;
+  best.rate = objective(1);
+  for (std::size_t m = 2; m <= horizon; ++m) {
+    const double value = objective(m);
+    if (value < best.rate) {
+      best.rate = value;
+      best.critical_m = m;
+      // Push the horizon whenever the minimum keeps moving outward.
+      const auto extended = static_cast<std::size_t>(
+          std::llround(kScanMargin * static_cast<double>(m)));
+      horizon = std::max(horizon, extended);
+      if (horizon > kMaxScan) {
+        throw util::NumericalError(
+            "RateFunction: CTS scan exceeded kMaxScan; the model may have "
+            "H too close to 1 or a non-summable objective");
+      }
+    }
+  }
+  return best;
+}
+
+double lrd_cts_slope(double hurst, double mean, double bandwidth) {
+  util::require(hurst > 0.0 && hurst < 1.0, "lrd_cts_slope: H in (0,1)");
+  util::require(bandwidth > mean, "lrd_cts_slope: bandwidth must exceed mean");
+  return hurst / ((1.0 - hurst) * (bandwidth - mean));
+}
+
+double markov_cts_slope(double mean, double bandwidth) {
+  util::require(bandwidth > mean,
+                "markov_cts_slope: bandwidth must exceed mean");
+  return 1.0 / (bandwidth - mean);
+}
+
+}  // namespace cts::core

@@ -1,0 +1,47 @@
+#include "cts/core/variance_growth.hpp"
+
+#include <cmath>
+
+#include "cts/util/error.hpp"
+
+namespace cts::core {
+
+VarianceGrowth::VarianceGrowth(std::shared_ptr<const AcfModel> acf,
+                               double variance)
+    : acf_(std::move(acf)), variance_(variance) {
+  util::require(acf_ != nullptr, "VarianceGrowth: acf required");
+  util::require(variance > 0.0, "VarianceGrowth: variance must be > 0");
+}
+
+void VarianceGrowth::extend(std::size_t m) const {
+  while (s1_.size() <= m) {
+    const std::size_t i = s1_.size();  // next lag to absorb
+    const double r = acf_->at(i);
+    s1_.push_back(s1_.back() + r);
+    s2_.push_back(s2_.back() + static_cast<double>(i) * r);
+  }
+}
+
+double VarianceGrowth::at(std::size_t m) const {
+  util::require(m >= 1, "VarianceGrowth::at: m must be >= 1");
+  extend(m);
+  // sum_{i=1..m} (m - i) r(i) = m S1(m) - S2(m); the i = m term is zero so
+  // including it in the cached sums is harmless.
+  const double md = static_cast<double>(m);
+  const double weighted = md * s1_[m] - s2_[m];
+  return variance_ * (md + 2.0 * weighted);
+}
+
+double VarianceGrowth::normalized(std::size_t m) const {
+  return at(m) / (variance_ * static_cast<double>(m));
+}
+
+double lrd_variance_growth_approx(double variance, double weight, double hurst,
+                                  std::size_t m) {
+  util::require(hurst > 0.5 && hurst < 1.0,
+                "lrd_variance_growth_approx: H must be in (1/2,1)");
+  return variance * weight *
+         std::pow(static_cast<double>(m), 2.0 * hurst);
+}
+
+}  // namespace cts::core

@@ -1,0 +1,55 @@
+#include "cts/core/weibull_lrd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cts/util/error.hpp"
+#include "cts/util/math.hpp"
+
+namespace cts::core {
+
+void WeibullLrdParams::validate() const {
+  util::require(hurst > 0.5 && hurst < 1.0,
+                "WeibullLrdParams: H must be in (1/2, 1)");
+  util::require(weight > 0.0 && weight <= 1.0,
+                "WeibullLrdParams: weight must be in (0, 1]");
+  util::require(variance > 0.0, "WeibullLrdParams: variance must be > 0");
+  util::require(bandwidth > mean,
+                "WeibullLrdParams: bandwidth must exceed mean");
+}
+
+double kappa(double hurst) {
+  util::require(hurst > 0.0 && hurst < 1.0, "kappa: H must be in (0,1)");
+  return std::pow(hurst, hurst) * std::pow(1.0 - hurst, 1.0 - hurst);
+}
+
+double weibull_exponent(const WeibullLrdParams& params,
+                        std::size_t n_sources, double total_buffer) {
+  params.validate();
+  util::require(n_sources >= 1, "weibull_exponent: need >= 1 source");
+  util::require(total_buffer > 0.0, "weibull_exponent: buffer must be > 0");
+  const double h = params.hurst;
+  const double n = static_cast<double>(n_sources);
+  const double k = kappa(h);
+  return std::pow(n, 2.0 * h - 1.0) *
+         std::pow(params.bandwidth - params.mean, 2.0 * h) /
+         (2.0 * params.weight * params.variance * k * k) *
+         std::pow(total_buffer, 2.0 - 2.0 * h);
+}
+
+double weibull_log10_bop(const WeibullLrdParams& params,
+                         std::size_t n_sources, double total_buffer) {
+  const double j = weibull_exponent(params, n_sources, total_buffer);
+  double log_p = -j;
+  if (j > 0.0) log_p -= 0.5 * std::log(4.0 * util::kPi * j);
+  return std::min(log_p / std::log(10.0), 0.0);
+}
+
+double weibull_critical_m(const WeibullLrdParams& params,
+                          double buffer_per_source) {
+  params.validate();
+  return params.hurst / (1.0 - params.hurst) * buffer_per_source /
+         (params.bandwidth - params.mean);
+}
+
+}  // namespace cts::core

@@ -1,0 +1,69 @@
+#include "cts/fit/dar_fit.hpp"
+
+#include <cmath>
+
+#include "cts/core/acf_model.hpp"
+#include "cts/util/error.hpp"
+#include "cts/util/linalg.hpp"
+
+namespace cts::fit {
+
+DarFit fit_dar(const std::vector<double>& target_acf) {
+  util::require(!target_acf.empty(), "fit_dar: need at least one target lag");
+  const std::size_t p = target_acf.size();
+  for (const double r : target_acf) {
+    util::require(std::abs(r) < 1.0, "fit_dar: |r(k)| must be < 1");
+  }
+
+  // Toeplitz system T c = r with T(i,j) = r(|i-j|), r(0) = 1.
+  std::vector<double> t(p, 0.0);
+  t[0] = 1.0;
+  for (std::size_t i = 1; i < p; ++i) t[i] = target_acf[i - 1];
+  const std::vector<double> c = util::solve_toeplitz(t, target_acf);
+
+  DarFit fit;
+  fit.rho = 0.0;
+  for (const double ci : c) fit.rho += ci;
+  util::require(fit.rho >= 0.0 && fit.rho < 1.0,
+                "fit_dar: targets not DAR-representable (rho outside [0,1))");
+  fit.lag_probs.resize(p);
+  if (fit.rho == 0.0) {
+    // Zero correlations: any lag distribution works; pick lag 1.
+    fit.lag_probs.assign(p, 0.0);
+    fit.lag_probs[0] = 1.0;
+  } else {
+    for (std::size_t i = 0; i < p; ++i) {
+      const double a = c[i] / fit.rho;
+      util::require(a >= -1e-9,
+                    "fit_dar: targets not DAR-representable (a_i < 0)");
+      fit.lag_probs[i] = std::max(a, 0.0);
+    }
+    // Renormalise away the clamping slack.
+    double sum = 0.0;
+    for (const double a : fit.lag_probs) sum += a;
+    for (auto& a : fit.lag_probs) a /= sum;
+  }
+
+  // Verify the fit through the exact DAR ACF recursion.
+  const core::DarAcf model(fit.rho, fit.lag_probs);
+  double residual = 0.0;
+  for (std::size_t k = 1; k <= p; ++k) {
+    residual = std::max(residual, std::abs(model.at(k) - target_acf[k - 1]));
+  }
+  fit.residual = residual;
+  return fit;
+}
+
+proc::DarParams fit_dar_params(const std::vector<double>& target_acf,
+                               double mean, double variance) {
+  const DarFit fit = fit_dar(target_acf);
+  proc::DarParams params;
+  params.rho = fit.rho;
+  params.lag_probs = fit.lag_probs;
+  params.mean = mean;
+  params.variance = variance;
+  params.validate();
+  return params;
+}
+
+}  // namespace cts::fit

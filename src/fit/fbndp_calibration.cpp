@@ -1,0 +1,57 @@
+#include "cts/fit/fbndp_calibration.hpp"
+
+#include <cmath>
+
+#include "cts/util/error.hpp"
+
+namespace cts::fit {
+
+void FbndpTarget::validate() const {
+  util::require(mean > 0.0, "FbndpTarget: mean must be > 0");
+  util::require(variance > mean,
+                "FbndpTarget: variance must exceed mean (FBNDP counts are "
+                "over-dispersed)");
+  util::require(alpha > 0.0 && alpha < 1.0,
+                "FbndpTarget: alpha must be in (0,1)");
+  util::require(M >= 1, "FbndpTarget: M must be >= 1");
+  util::require(Ts > 0.0, "FbndpTarget: Ts must be > 0");
+}
+
+double implied_fractal_onset_time(const FbndpTarget& target) {
+  target.validate();
+  // sigma^2 = [1 + (Ts/T0)^alpha] mu  =>  T0 = Ts (sigma^2/mu - 1)^{-1/alpha}.
+  const double dispersion_excess = target.variance / target.mean - 1.0;
+  return target.Ts * std::pow(dispersion_excess, -1.0 / target.alpha);
+}
+
+proc::FbndpParams calibrate_fbndp(const FbndpTarget& target) {
+  target.validate();
+  proc::FbndpParams params;
+  params.alpha = target.alpha;
+  params.M = target.M;
+  params.Ts = target.Ts;
+  const double lambda = target.mean / target.Ts;
+  params.R = 2.0 * lambda / static_cast<double>(target.M);
+  // Invert the closed-form T0 for A:
+  //   T0^alpha = F / R * A^{alpha-1},
+  //   F = alpha(alpha+1)(2-alpha)^{-1} [(1-alpha) e^{2-alpha} + 1],
+  // so A = (T0^alpha R / F)^{1/(alpha-1)} (negative exponent).
+  const double t0 = implied_fractal_onset_time(target);
+  const double a = target.alpha;
+  const double f = a * (a + 1.0) / (2.0 - a) *
+                   ((1.0 - a) * std::exp(2.0 - a) + 1.0);
+  params.A =
+      std::pow(std::pow(t0, a) * params.R / f, 1.0 / (a - 1.0));
+  params.validate();
+
+  // Round-trip check: the calibrated parameters must reproduce the target
+  // moments to numerical precision.
+  const double mu_err = std::abs(params.frame_mean() - target.mean);
+  const double var_err = std::abs(params.frame_variance() - target.variance);
+  if (mu_err > 1e-6 * target.mean || var_err > 1e-6 * target.variance) {
+    throw util::NumericalError("calibrate_fbndp: round-trip check failed");
+  }
+  return params;
+}
+
+}  // namespace cts::fit

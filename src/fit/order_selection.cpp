@@ -1,0 +1,71 @@
+#include "cts/fit/order_selection.hpp"
+
+#include <cmath>
+
+#include "cts/core/br_asymptotic.hpp"
+#include "cts/core/rate_function.hpp"
+#include "cts/fit/dar_fit.hpp"
+#include "cts/util/error.hpp"
+
+namespace cts::fit {
+
+void OrderSelectionProblem::validate() const {
+  util::require(variance > 0.0,
+                "OrderSelectionProblem: variance must be > 0");
+  util::require(bandwidth > mean,
+                "OrderSelectionProblem: bandwidth must exceed mean");
+  util::require(buffer_per_source >= 0.0,
+                "OrderSelectionProblem: buffer must be >= 0");
+  util::require(n_sources >= 1, "OrderSelectionProblem: need >= 1 source");
+  util::require(tolerance_decades > 0.0,
+                "OrderSelectionProblem: tolerance must be > 0");
+  util::require(max_order >= 2, "OrderSelectionProblem: max_order >= 2");
+}
+
+namespace {
+
+double bop_for_acf(std::shared_ptr<const core::AcfModel> acf,
+                   const OrderSelectionProblem& problem) {
+  core::RateFunction rate(std::move(acf), problem.mean, problem.variance,
+                          problem.bandwidth);
+  return core::br_log10_bop(rate, problem.buffer_per_source,
+                            problem.n_sources)
+      .log10_bop;
+}
+
+}  // namespace
+
+OrderSelection select_dar_order(const core::AcfModel& target,
+                                const OrderSelectionProblem& problem) {
+  problem.validate();
+
+  OrderSelection result;
+  {
+    // Reference prediction with the full target ACF (shared-ptr aliasing a
+    // caller-owned object; the rate function does not outlive this call).
+    std::shared_ptr<const core::AcfModel> alias(&target,
+                                                [](const core::AcfModel*) {});
+    result.target_log10_bop = bop_for_acf(alias, problem);
+  }
+
+  std::vector<double> targets;
+  double prev = 0.0;
+  for (std::size_t p = 1; p <= problem.max_order; ++p) {
+    targets.push_back(target.at(p));
+    const DarFit fit = fit_dar(targets);
+    auto acf = std::make_shared<core::DarAcf>(fit.rho, fit.lag_probs);
+    const double bop = bop_for_acf(acf, problem);
+    result.trace.push_back(bop);
+    if (p >= 2 && std::abs(bop - prev) < problem.tolerance_decades) {
+      result.order = p - 1;  // the previous order already sufficed
+      result.log10_bop = prev;
+      return result;
+    }
+    prev = bop;
+  }
+  throw util::NumericalError(
+      "select_dar_order: no order below max_order stabilised the BOP "
+      "prediction");
+}
+
+}  // namespace cts::fit

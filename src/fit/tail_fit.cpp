@@ -1,0 +1,81 @@
+#include "cts/fit/tail_fit.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "cts/util/error.hpp"
+#include "cts/util/math.hpp"
+
+namespace cts::fit {
+
+TailFit fit_lrd_tail(const std::function<double(std::size_t)>& target_acf,
+                     double weight, std::size_t lag_lo, std::size_t lag_hi,
+                     double alpha_lo, double alpha_hi) {
+  util::require(weight > 0.0 && weight <= 1.0,
+                "fit_lrd_tail: weight must be in (0,1]");
+  util::require(lag_lo >= 1 && lag_hi > lag_lo,
+                "fit_lrd_tail: need lag_lo >= 1 and lag_hi > lag_lo");
+  util::require(alpha_lo > 0.0 && alpha_hi < 1.0 && alpha_lo < alpha_hi,
+                "fit_lrd_tail: alpha bounds must satisfy 0 < lo < hi < 1");
+
+  // Geometric lag grid so decades of the tail are weighted equally.
+  std::vector<std::size_t> lags;
+  double x = static_cast<double>(lag_lo);
+  while (x <= static_cast<double>(lag_hi)) {
+    const auto lag = static_cast<std::size_t>(std::llround(x));
+    if (lags.empty() || lag > lags.back()) lags.push_back(lag);
+    x *= 1.15;
+  }
+
+  std::vector<double> log_target(lags.size());
+  for (std::size_t i = 0; i < lags.size(); ++i) {
+    const double r = target_acf(lags[i]);
+    util::require(r > 0.0,
+                  "fit_lrd_tail: target ACF must be positive on the window");
+    log_target[i] = std::log(r);
+  }
+
+  auto objective = [&](double alpha) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < lags.size(); ++i) {
+      const double model =
+          weight * 0.5 *
+          util::second_central_difference_pow(lags[i], alpha + 1.0);
+      const double d = std::log(model) - log_target[i];
+      acc += d * d;
+    }
+    return acc;
+  };
+
+  // Golden-section search (the objective is smooth and unimodal in alpha on
+  // any window where the target is a clean power law).
+  const double gr = (std::sqrt(5.0) - 1.0) / 2.0;
+  double lo = alpha_lo;
+  double hi = alpha_hi;
+  double x1 = hi - gr * (hi - lo);
+  double x2 = lo + gr * (hi - lo);
+  double f1 = objective(x1);
+  double f2 = objective(x2);
+  for (int iter = 0; iter < 200 && (hi - lo) > 1e-10; ++iter) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - gr * (hi - lo);
+      f1 = objective(x1);
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + gr * (hi - lo);
+      f2 = objective(x2);
+    }
+  }
+  TailFit fit;
+  fit.alpha = 0.5 * (lo + hi);
+  fit.hurst = (fit.alpha + 1.0) / 2.0;
+  fit.objective = objective(fit.alpha);
+  return fit;
+}
+
+}  // namespace cts::fit

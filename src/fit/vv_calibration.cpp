@@ -1,0 +1,29 @@
+#include "cts/fit/vv_calibration.hpp"
+
+#include <cmath>
+
+#include "cts/util/error.hpp"
+
+namespace cts::fit {
+
+double fbndp_first_lag(double weight, double alpha) {
+  util::require(weight > 0.0 && weight <= 1.0,
+                "fbndp_first_lag: weight must be in (0,1]");
+  util::require(alpha > 0.0 && alpha < 1.0,
+                "fbndp_first_lag: alpha must be in (0,1)");
+  // r(1) = w * (1/2)[2^{alpha+1} - 2] = w (2^alpha - 1).
+  return weight * (std::pow(2.0, alpha) - 1.0);
+}
+
+double calibrate_dar1_coefficient(double v, double fbndp_r1,
+                                  double target_r1) {
+  util::require(v > 0.0, "calibrate_dar1_coefficient: v must be > 0");
+  // r(1) = v/(v+1) rX1 + a/(v+1)  =>  a = (v+1) r1* - v rX1.
+  const double a = (v + 1.0) * target_r1 - v * fbndp_r1;
+  util::require(a >= 0.0 && a < 1.0,
+                "calibrate_dar1_coefficient: infeasible pinning (a outside "
+                "[0,1))");
+  return a;
+}
+
+}  // namespace cts::fit

@@ -1,0 +1,29 @@
+#include "cts/proc/fbn.hpp"
+
+#include "cts/util/error.hpp"
+
+namespace cts::proc {
+
+FractalBinomialNoise::FractalBinomialNoise(const OnOffParams& params,
+                                           std::uint32_t m,
+                                           util::Xoshiro256pp rng) {
+  util::require(m >= 1, "FractalBinomialNoise: M must be >= 1");
+  sources_.reserve(m);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    sources_.emplace_back(params, rng.split());
+  }
+}
+
+double FractalBinomialNoise::aggregate_on_time(double dt) noexcept {
+  double total = 0.0;
+  for (auto& source : sources_) total += source.on_time_in(dt);
+  return total;
+}
+
+std::uint32_t FractalBinomialNoise::on_count() const noexcept {
+  std::uint32_t count = 0;
+  for (const auto& source : sources_) count += source.is_on() ? 1u : 0u;
+  return count;
+}
+
+}  // namespace cts::proc

@@ -1,0 +1,141 @@
+#include "cts/proc/fgn.hpp"
+
+#include <cmath>
+
+#include "cts/util/error.hpp"
+#include "cts/util/fft.hpp"
+#include "cts/util/math.hpp"
+
+namespace cts::proc {
+
+double fgn_acf(std::size_t k, double hurst) {
+  util::require(hurst > 0.0 && hurst < 1.0, "fgn_acf: H must be in (0,1)");
+  if (k == 0) return 1.0;
+  return 0.5 * util::second_central_difference_pow(k, 2.0 * hurst);
+}
+
+void FgnParams::validate() const {
+  util::require(hurst > 0.0 && hurst < 1.0, "FgnParams: H must be in (0,1)");
+  util::require(variance > 0.0, "FgnParams: variance must be > 0");
+}
+
+// ---------------------------------------------------------------------------
+// Hosking recursion
+// ---------------------------------------------------------------------------
+
+FgnHosking::FgnHosking(const FgnParams& params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  params_.validate();
+}
+
+double FgnHosking::next_frame() {
+  // Durbin-Levinson step: extend the best-linear-predictor coefficients by
+  // one order, then sample the next value from its exact conditional law.
+  const std::size_t n = history_.size();
+  // Memory/work cap: past this order the partial correlations of FGN are
+  // tiny and the AR approximation at fixed order is statistically
+  // indistinguishable for our run lengths.
+  constexpr std::size_t kMaxOrder = 16384;
+  double conditional_mean = 0.0;
+  if (n > 0 && n <= kMaxOrder) {
+    const double rn = fgn_acf(n, params_.hurst);
+    double num = rn;
+    for (std::size_t k = 1; k < n; ++k) {
+      num -= phi_[k - 1] * fgn_acf(n - k, params_.hurst);
+    }
+    const double reflection = num / prediction_variance_;
+    std::vector<double> updated(n, 0.0);
+    for (std::size_t k = 1; k < n; ++k) {
+      updated[k - 1] = phi_[k - 1] - reflection * phi_[n - 1 - k];
+    }
+    updated[n - 1] = reflection;
+    phi_ = std::move(updated);
+    prediction_variance_ *= (1.0 - reflection * reflection);
+    for (std::size_t k = 1; k <= n; ++k) {
+      conditional_mean += phi_[k - 1] * history_[n - k];
+    }
+  } else if (n > kMaxOrder) {
+    // Fixed-order AR approximation using the capped coefficient vector.
+    for (std::size_t k = 1; k <= phi_.size(); ++k) {
+      conditional_mean += phi_[k - 1] * history_[n - k];
+    }
+  }
+  const double sd = std::sqrt(std::max(prediction_variance_, 1e-12));
+  const double x = conditional_mean + sd * normal_(rng_);
+  history_.push_back(x);
+  return params_.mean + std::sqrt(params_.variance) * x;
+}
+
+std::unique_ptr<FrameSource> FgnHosking::clone(std::uint64_t seed) const {
+  return std::make_unique<FgnHosking>(params_, seed);
+}
+
+std::string FgnHosking::name() const {
+  return "FGN-Hosking(H=" + std::to_string(params_.hurst) + ")";
+}
+
+// ---------------------------------------------------------------------------
+// Davies-Harte circulant embedding
+// ---------------------------------------------------------------------------
+
+FgnDaviesHarte::FgnDaviesHarte(const FgnParams& params, std::size_t block_len,
+                               std::uint64_t seed)
+    : params_(params), block_len_(util::next_pow2(block_len)), rng_(seed) {
+  params_.validate();
+  util::require(block_len >= 2, "FgnDaviesHarte: block length must be >= 2");
+  // Circulant embedding of the covariance sequence r(0..n) into length 2n;
+  // its DFT gives the (provably non-negative for FGN) eigenvalues.
+  const std::size_t n = block_len_;
+  std::vector<std::complex<double>> c(2 * n, 0.0);
+  for (std::size_t j = 0; j <= n; ++j) {
+    c[j] = fgn_acf(j, params_.hurst);
+  }
+  for (std::size_t j = 1; j < n; ++j) {
+    c[2 * n - j] = c[j];
+  }
+  util::fft(c);
+  eigenvalues_.resize(2 * n);
+  for (std::size_t j = 0; j < 2 * n; ++j) {
+    // Clamp tiny negative round-off to zero; genuine negatives would mean
+    // the embedding failed (cannot happen for FGN covariances).
+    eigenvalues_[j] = std::max(c[j].real(), 0.0);
+  }
+  pos_ = block_len_;  // trigger refill on first sample
+}
+
+void FgnDaviesHarte::refill() {
+  const std::size_t n = block_len_;
+  const std::size_t m = 2 * n;
+  std::vector<std::complex<double>> y(m);
+  y[0] = std::sqrt(eigenvalues_[0]) * normal_(rng_);
+  y[n] = std::sqrt(eigenvalues_[n]) * normal_(rng_);
+  for (std::size_t k = 1; k < n; ++k) {
+    const double scale = std::sqrt(eigenvalues_[k] / 2.0);
+    const std::complex<double> g(normal_(rng_), normal_(rng_));
+    y[k] = scale * g;
+    y[m - k] = std::conj(y[k]);
+  }
+  util::fft(y);
+  block_.resize(n);
+  const double norm = 1.0 / std::sqrt(static_cast<double>(m));
+  for (std::size_t j = 0; j < n; ++j) {
+    block_[j] = y[j].real() * norm;
+  }
+  pos_ = 0;
+}
+
+double FgnDaviesHarte::next_frame() {
+  if (pos_ >= block_len_) refill();
+  const double x = block_[pos_++];
+  return params_.mean + std::sqrt(params_.variance) * x;
+}
+
+std::unique_ptr<FrameSource> FgnDaviesHarte::clone(std::uint64_t seed) const {
+  return std::make_unique<FgnDaviesHarte>(params_, block_len_, seed);
+}
+
+std::string FgnDaviesHarte::name() const {
+  return "FGN-DH(H=" + std::to_string(params_.hurst) + ")";
+}
+
+}  // namespace cts::proc

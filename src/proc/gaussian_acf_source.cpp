@@ -1,0 +1,130 @@
+#include "cts/proc/gaussian_acf_source.hpp"
+
+#include <cmath>
+
+#include "cts/util/error.hpp"
+#include "cts/util/fft.hpp"
+
+namespace cts::proc {
+
+GaussianAcfHosking::GaussianAcfHosking(
+    std::shared_ptr<const core::AcfModel> acf, double mean, double variance,
+    std::uint64_t seed, std::size_t max_order)
+    : acf_(std::move(acf)),
+      mean_(mean),
+      variance_(variance),
+      max_order_(max_order),
+      rng_(seed) {
+  util::require(acf_ != nullptr, "GaussianAcfHosking: acf required");
+  util::require(variance > 0.0, "GaussianAcfHosking: variance must be > 0");
+  util::require(max_order >= 1, "GaussianAcfHosking: max_order must be >= 1");
+}
+
+double GaussianAcfHosking::next_frame() {
+  const std::size_t n = history_.size();
+  double conditional_mean = 0.0;
+  if (n > 0 && n <= max_order_) {
+    const double rn = acf_->at(n);
+    double num = rn;
+    for (std::size_t k = 1; k < n; ++k) {
+      num -= phi_[k - 1] * acf_->at(n - k);
+    }
+    const double reflection = num / prediction_variance_;
+    std::vector<double> updated(n, 0.0);
+    for (std::size_t k = 1; k < n; ++k) {
+      updated[k - 1] = phi_[k - 1] - reflection * phi_[n - 1 - k];
+    }
+    updated[n - 1] = reflection;
+    phi_ = std::move(updated);
+    prediction_variance_ *= (1.0 - reflection * reflection);
+    if (prediction_variance_ < 1e-12) prediction_variance_ = 1e-12;
+    for (std::size_t k = 1; k <= n; ++k) {
+      conditional_mean += phi_[k - 1] * history_[n - k];
+    }
+  } else if (n > max_order_) {
+    for (std::size_t k = 1; k <= phi_.size(); ++k) {
+      conditional_mean += phi_[k - 1] * history_[n - k];
+    }
+  }
+  const double x =
+      conditional_mean + std::sqrt(prediction_variance_) * normal_(rng_);
+  history_.push_back(x);
+  return mean_ + std::sqrt(variance_) * x;
+}
+
+std::unique_ptr<FrameSource> GaussianAcfHosking::clone(
+    std::uint64_t seed) const {
+  return std::make_unique<GaussianAcfHosking>(acf_, mean_, variance_, seed,
+                                              max_order_);
+}
+
+std::string GaussianAcfHosking::name() const {
+  return "gauss-hosking[" + acf_->name() + "]";
+}
+
+GaussianAcfDaviesHarte::GaussianAcfDaviesHarte(
+    std::shared_ptr<const core::AcfModel> acf, double mean, double variance,
+    std::size_t block_len, std::uint64_t seed, double tolerance)
+    : acf_(std::move(acf)),
+      mean_(mean),
+      variance_(variance),
+      block_len_(util::next_pow2(block_len)),
+      rng_(seed) {
+  util::require(acf_ != nullptr, "GaussianAcfDaviesHarte: acf required");
+  util::require(variance > 0.0,
+                "GaussianAcfDaviesHarte: variance must be > 0");
+  util::require(block_len >= 2,
+                "GaussianAcfDaviesHarte: block length must be >= 2");
+  const std::size_t n = block_len_;
+  std::vector<std::complex<double>> c(2 * n, 0.0);
+  for (std::size_t j = 0; j <= n; ++j) c[j] = acf_->at(j);
+  for (std::size_t j = 1; j < n; ++j) c[2 * n - j] = c[j];
+  util::fft(c);
+  eigenvalues_.resize(2 * n);
+  for (std::size_t j = 0; j < 2 * n; ++j) {
+    const double ev = c[j].real();
+    if (ev < -tolerance) {
+      throw util::NumericalError(
+          "GaussianAcfDaviesHarte: circulant embedding of '" + acf_->name() +
+          "' is not non-negative definite at this block length; use "
+          "GaussianAcfHosking");
+    }
+    eigenvalues_[j] = ev > 0.0 ? ev : 0.0;
+  }
+  pos_ = block_len_;
+}
+
+void GaussianAcfDaviesHarte::refill() {
+  const std::size_t n = block_len_;
+  const std::size_t m = 2 * n;
+  std::vector<std::complex<double>> y(m);
+  y[0] = std::sqrt(eigenvalues_[0]) * normal_(rng_);
+  y[n] = std::sqrt(eigenvalues_[n]) * normal_(rng_);
+  for (std::size_t k = 1; k < n; ++k) {
+    const double scale = std::sqrt(eigenvalues_[k] / 2.0);
+    y[k] = scale * std::complex<double>(normal_(rng_), normal_(rng_));
+    y[m - k] = std::conj(y[k]);
+  }
+  util::fft(y);
+  block_.resize(n);
+  const double norm = 1.0 / std::sqrt(static_cast<double>(m));
+  for (std::size_t j = 0; j < n; ++j) block_[j] = y[j].real() * norm;
+  pos_ = 0;
+}
+
+double GaussianAcfDaviesHarte::next_frame() {
+  if (pos_ >= block_len_) refill();
+  return mean_ + std::sqrt(variance_) * block_[pos_++];
+}
+
+std::unique_ptr<FrameSource> GaussianAcfDaviesHarte::clone(
+    std::uint64_t seed) const {
+  return std::make_unique<GaussianAcfDaviesHarte>(acf_, mean_, variance_,
+                                                  block_len_, seed);
+}
+
+std::string GaussianAcfDaviesHarte::name() const {
+  return "gauss-dh[" + acf_->name() + "]";
+}
+
+}  // namespace cts::proc

@@ -1,0 +1,107 @@
+#include "cts/proc/on_off.hpp"
+
+#include <cmath>
+
+#include "cts/util/error.hpp"
+
+namespace cts::proc {
+
+void OnOffParams::validate() const {
+  util::require(alpha > 0.0 && alpha < 1.0,
+                "OnOffParams: alpha must be in (0,1)");
+  util::require(A > 0.0 && std::isfinite(A), "OnOffParams: A must be > 0");
+}
+
+double OnOffParams::mean_sojourn() const noexcept {
+  const double g = gamma();
+  // E[T] = (A/g)(1 - e^-g) + e^-g A/(g-1): integrate the survival function
+  // over the exponential body and the Pareto tail separately.
+  return (A / g) * (1.0 - std::exp(-g)) + std::exp(-g) * A / (g - 1.0);
+}
+
+double OnOffParams::sojourn_survival(double t) const noexcept {
+  if (t <= 0.0) return 1.0;
+  const double g = gamma();
+  if (t <= A) return std::exp(-g * t / A);
+  return std::exp(-g) * std::pow(A / t, g);
+}
+
+double OnOffParams::sample_sojourn(util::Xoshiro256pp& rng) const noexcept {
+  const double g = gamma();
+  const double u = rng.uniform01();
+  const double survival = 1.0 - u;  // uniform, so use either side
+  const double body_mass = 1.0 - std::exp(-g);
+  if (u < body_mass) {
+    // Exponential body: S(t) = e^{-g t/A} -> t = -(A/g) ln(1-u).
+    return -(A / g) * std::log1p(-u);
+  }
+  // Pareto tail: S(t) = e^{-g}(A/t)^g -> t = A (e^{-g}/S)^{1/g}.
+  return A * std::pow(std::exp(-g) / survival, 1.0 / g);
+}
+
+double OnOffParams::sample_equilibrium_residual(
+    util::Xoshiro256pp& rng) const noexcept {
+  // Equilibrium residual CDF: G(t) = (1/E) \int_0^t S(s) ds with
+  //   \int_0^t S = (A/g)(1 - e^{-g t/A})                       for t <= A,
+  //              = (A/g)(1-e^{-g}) + e^{-g} A (1-(A/t)^{g-1})/(g-1)  t > A.
+  const double g = gamma();
+  const double mean = mean_sojourn();
+  const double u = rng.uniform01();
+  const double target = u * mean;
+  const double body_integral = (A / g) * (1.0 - std::exp(-g));
+  if (target <= body_integral) {
+    // Invert (A/g)(1 - e^{-g t/A}) = target.
+    const double inner = 1.0 - g * target / A;
+    return -(A / g) * std::log(inner);
+  }
+  // Invert the tail branch for t.
+  const double rest = target - body_integral;
+  const double coeff = std::exp(-g) * A / (g - 1.0);
+  // rest = coeff (1 - (A/t)^{g-1})  ->  (A/t)^{g-1} = 1 - rest/coeff.
+  const double ratio_pow = 1.0 - rest / coeff;
+  // ratio_pow in (0,1] because rest < coeff = total tail integral.
+  return A * std::pow(ratio_pow, -1.0 / (g - 1.0));
+}
+
+FractalOnOff::FractalOnOff(const OnOffParams& params, util::Xoshiro256pp rng)
+    : params_(params), rng_(rng) {
+  params_.validate();
+  const double g = params_.gamma();
+  body_mass_ = 1.0 - std::exp(-g);
+  neg_a_over_g_ = -params_.A / g;
+  exp_neg_g_ = std::exp(-g);
+  inv_g_ = 1.0 / g;
+  // Stationary start: ON/OFF symmetric, so ON with probability 1/2, and
+  // the time to the next transition follows the equilibrium residual law.
+  on_ = rng_.uniform01() < 0.5;
+  residual_ = params_.sample_equilibrium_residual(rng_);
+}
+
+double FractalOnOff::sample_sojourn_fast() noexcept {
+  const double u = rng_.uniform01();
+  if (u < body_mass_) {
+    // Exponential body: t = -(A/g) ln(1-u).
+    return neg_a_over_g_ * std::log1p(-u);
+  }
+  // Pareto tail: t = A (e^{-g}/(1-u))^{1/g} = A exp((-g - ln(1-u))/g).
+  return params_.A * std::exp((std::log(exp_neg_g_ / (1.0 - u))) * inv_g_);
+}
+
+double FractalOnOff::on_time_in(double dt) noexcept {
+  double on_time = 0.0;
+  double remaining = dt;
+  while (remaining > 0.0) {
+    if (residual_ > remaining) {
+      if (on_) on_time += remaining;
+      residual_ -= remaining;
+      return on_time;
+    }
+    if (on_) on_time += residual_;
+    remaining -= residual_;
+    on_ = !on_;
+    residual_ = sample_sojourn_fast();
+  }
+  return on_time;
+}
+
+}  // namespace cts::proc

@@ -1,0 +1,91 @@
+#include "cts/proc/trace.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "cts/util/error.hpp"
+
+namespace cts::proc {
+
+std::vector<double> load_trace(const std::string& path) {
+  std::ifstream file(path);
+  util::require(static_cast<bool>(file),
+                "load_trace: cannot open '" + path + "'");
+  std::vector<double> trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    // Strip comments and skip blanks.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::string token;
+    while (tokens >> token) {
+      try {
+        std::size_t consumed = 0;
+        const double value = std::stod(token, &consumed);
+        util::require(consumed == token.size(),
+                      "load_trace: bad token '" + token + "' at line " +
+                          std::to_string(line_no));
+        trace.push_back(value);
+      } catch (const std::invalid_argument&) {
+        throw util::InvalidArgument("load_trace: bad token '" + token +
+                                    "' at line " + std::to_string(line_no));
+      }
+    }
+  }
+  util::require(!trace.empty(), "load_trace: '" + path + "' has no samples");
+  return trace;
+}
+
+bool save_trace(const std::string& path, const std::vector<double>& trace,
+                const std::string& comment) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  if (!comment.empty()) file << "# " << comment << '\n';
+  for (const double x : trace) file << x << '\n';
+  return static_cast<bool>(file);
+}
+
+TraceSource::TraceSource(std::vector<double> trace, std::uint64_t seed,
+                         bool randomize_phase)
+    : trace_(std::make_shared<const std::vector<double>>(std::move(trace))),
+      mean_(0.0),
+      variance_(0.0),
+      randomize_phase_(randomize_phase) {
+  util::require(!trace_->empty(), "TraceSource: empty trace");
+  double acc = 0.0;
+  for (const double x : *trace_) acc += x;
+  mean_ = acc / static_cast<double>(trace_->size());
+  double ss = 0.0;
+  for (const double x : *trace_) ss += (x - mean_) * (x - mean_);
+  variance_ = ss / static_cast<double>(trace_->size());
+  if (randomize_phase_) {
+    util::Xoshiro256pp rng(seed);
+    pos_ = static_cast<std::size_t>(rng() % trace_->size());
+  }
+}
+
+double TraceSource::next_frame() {
+  const double x = (*trace_)[pos_];
+  pos_ = (pos_ + 1) % trace_->size();
+  return x;
+}
+
+std::unique_ptr<FrameSource> TraceSource::clone(std::uint64_t seed) const {
+  // Clones share the recording (no copy) but start at independent phases.
+  auto copy = std::unique_ptr<TraceSource>(new TraceSource(*this));
+  if (randomize_phase_) {
+    util::Xoshiro256pp rng(seed);
+    copy->pos_ = static_cast<std::size_t>(rng() % trace_->size());
+  }
+  return copy;
+}
+
+std::string TraceSource::name() const {
+  return "trace[" + std::to_string(trace_->size()) + " frames]";
+}
+
+}  // namespace cts::proc

@@ -1,0 +1,109 @@
+#include "cts/sim/curves.hpp"
+
+#include <cmath>
+
+#include "cts/core/large_n.hpp"
+#include "cts/core/rate_function.hpp"
+#include "cts/util/error.hpp"
+
+namespace cts::sim {
+
+namespace {
+
+AnalyticCurve asymptotic_curve(const fit::ModelSpec& model,
+                               const MuxGeometry& geometry,
+                               const std::vector<double>& buffer_ms,
+                               bool bahadur_rao) {
+  core::RateFunction rate(model.acf, model.mean, model.variance,
+                          geometry.bandwidth_per_source);
+  AnalyticCurve curve;
+  curve.model = model.name;
+  curve.buffer_ms = buffer_ms;
+  curve.log10_bop.reserve(buffer_ms.size());
+  curve.critical_m.reserve(buffer_ms.size());
+  for (const double ms : buffer_ms) {
+    const double total_cells = geometry.buffer_ms_to_cells(ms);
+    const double b = total_cells / static_cast<double>(geometry.n_sources);
+    const core::BopPoint point =
+        bahadur_rao ? core::br_log10_bop(rate, b, geometry.n_sources)
+                    : core::large_n_log10_bop(rate, b, geometry.n_sources);
+    curve.log10_bop.push_back(point.log10_bop);
+    curve.critical_m.push_back(point.critical_m);
+  }
+  return curve;
+}
+
+}  // namespace
+
+AnalyticCurve br_curve(const fit::ModelSpec& model, const MuxGeometry& geometry,
+                       const std::vector<double>& buffer_ms) {
+  return asymptotic_curve(model, geometry, buffer_ms, true);
+}
+
+AnalyticCurve large_n_curve(const fit::ModelSpec& model,
+                            const MuxGeometry& geometry,
+                            const std::vector<double>& buffer_ms) {
+  return asymptotic_curve(model, geometry, buffer_ms, false);
+}
+
+AnalyticCurve cts_curve(const fit::ModelSpec& model,
+                        const MuxGeometry& geometry,
+                        const std::vector<double>& buffer_ms) {
+  // The CTS is a by-product of the B-R evaluation; reuse it.
+  return asymptotic_curve(model, geometry, buffer_ms, true);
+}
+
+SimulatedCurve simulated_clr_curve(const fit::ModelSpec& model,
+                                   const MuxGeometry& geometry,
+                                   const std::vector<double>& buffer_ms,
+                                   const ReplicationConfig& scale) {
+  ReplicationConfig config = scale;
+  config.n_sources = geometry.n_sources;
+  config.capacity_cells = geometry.total_capacity();
+  config.buffer_sizes_cells.clear();
+  for (const double ms : buffer_ms) {
+    config.buffer_sizes_cells.push_back(geometry.buffer_ms_to_cells(ms));
+  }
+  const ReplicationResult result = run_replicated(model, config);
+
+  SimulatedCurve curve;
+  curve.model = model.name;
+  curve.buffer_ms = buffer_ms;
+  curve.total_frames = result.total_frames;
+  for (const ClrEstimate& est : result.clr) {
+    curve.clr.push_back(est.pooled_clr);
+    curve.ci_low.push_back(std::max(est.clr.low(), 0.0));
+    curve.ci_high.push_back(est.clr.high());
+  }
+  return curve;
+}
+
+std::vector<double> buffer_grid_ms(double lo_ms, double hi_ms,
+                                   std::size_t points) {
+  util::require(lo_ms > 0.0 && hi_ms > lo_ms && points >= 2,
+                "buffer_grid_ms: need 0 < lo < hi and >= 2 points");
+  std::vector<double> grid(points);
+  const double ratio = std::pow(hi_ms / lo_ms,
+                                1.0 / static_cast<double>(points - 1));
+  double x = lo_ms;
+  for (std::size_t i = 0; i < points; ++i) {
+    grid[i] = x;
+    x *= ratio;
+  }
+  grid.back() = hi_ms;
+  return grid;
+}
+
+std::vector<double> linear_grid_ms(double lo_ms, double hi_ms,
+                                   std::size_t points) {
+  util::require(hi_ms > lo_ms && points >= 2,
+                "linear_grid_ms: need lo < hi and >= 2 points");
+  std::vector<double> grid(points);
+  const double step = (hi_ms - lo_ms) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    grid[i] = lo_ms + step * static_cast<double>(i);
+  }
+  return grid;
+}
+
+}  // namespace cts::sim

@@ -1,0 +1,91 @@
+#include "cts/sim/fluid_mux.hpp"
+
+#include <algorithm>
+
+#include "cts/util/error.hpp"
+
+namespace cts::sim {
+
+FluidRunResult FluidMux::run(
+    std::vector<std::unique_ptr<proc::FrameSource>>& sources,
+    const FluidRunConfig& config) {
+  util::require(!sources.empty(), "FluidMux: need at least one source");
+  util::require(config.capacity_cells > 0.0,
+                "FluidMux: capacity must be > 0");
+  for (const double b : config.buffer_sizes_cells) {
+    util::require(b >= 0.0, "FluidMux: buffer sizes must be >= 0");
+  }
+  for (const double x : config.bop_thresholds_cells) {
+    util::require(x >= 0.0, "FluidMux: BOP thresholds must be >= 0");
+  }
+
+  FluidRunResult result;
+  result.frames = config.frames;
+  result.clr.resize(config.buffer_sizes_cells.size());
+  for (std::size_t i = 0; i < result.clr.size(); ++i) {
+    result.clr[i].buffer_cells = config.buffer_sizes_cells[i];
+  }
+  result.bop.resize(config.bop_thresholds_cells.size());
+  for (std::size_t i = 0; i < result.bop.size(); ++i) {
+    result.bop[i].threshold_cells = config.bop_thresholds_cells[i];
+  }
+
+  // One workload per finite buffer plus one infinite-buffer workload.
+  std::vector<double> w_finite(config.buffer_sizes_cells.size(), 0.0);
+  double w_infinite = 0.0;
+  const double c = config.capacity_cells;
+
+  // Kahan compensation for the long loss/arrival accumulations.
+  std::vector<double> loss_comp(w_finite.size(), 0.0);
+  double arrived = 0.0;
+  double arrived_comp = 0.0;
+
+  const std::uint64_t total = config.warmup_frames + config.frames;
+  for (std::uint64_t n = 0; n < total; ++n) {
+    double a = 0.0;
+    for (auto& source : sources) a += source->next_frame();
+    const bool measuring = n >= config.warmup_frames;
+
+    if (measuring) {
+      const double y = a - arrived_comp;
+      const double t = arrived + y;
+      arrived_comp = (t - arrived) - y;
+      arrived = t;
+    }
+
+    const double net = a - c;
+    for (std::size_t i = 0; i < w_finite.size(); ++i) {
+      const double b = config.buffer_sizes_cells[i];
+      double w = w_finite[i] + net;
+      if (w > b) {
+        if (measuring) {
+          const double loss = w - b;
+          auto& tally = result.clr[i];
+          const double y = loss - loss_comp[i];
+          const double t = tally.lost_cells + y;
+          loss_comp[i] = (t - tally.lost_cells) - y;
+          tally.lost_cells = t;
+          ++tally.loss_frames;
+        }
+        w = b;
+      } else if (w < 0.0) {
+        w = 0.0;
+      }
+      w_finite[i] = w;
+    }
+
+    w_infinite = std::max(w_infinite + net, 0.0);
+    if (measuring) {
+      for (std::size_t i = 0; i < result.bop.size(); ++i) {
+        if (w_infinite > config.bop_thresholds_cells[i]) {
+          ++result.bop[i].exceed_frames;
+        }
+      }
+    }
+  }
+
+  result.arrived_cells = arrived;
+  return result;
+}
+
+}  // namespace cts::sim

@@ -1,0 +1,132 @@
+#include "cts/sim/replication.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "cts/util/error.hpp"
+#include "cts/util/flags.hpp"
+#include "cts/util/rng.hpp"
+
+namespace cts::sim {
+
+ReplicationResult run_replicated(const fit::ModelSpec& model,
+                                 const ReplicationConfig& config) {
+  util::require(config.replications >= 1,
+                "run_replicated: need at least one replication");
+  util::require(config.n_sources >= 1,
+                "run_replicated: need at least one source");
+
+  const std::size_t reps = config.replications;
+  std::vector<FluidRunResult> per_rep(reps);
+
+  unsigned threads = config.threads;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(reps));
+
+  std::atomic<std::size_t> next_rep{0};
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t rep = next_rep.fetch_add(1);
+      if (rep >= reps) return;
+      // Deterministic per-replication seed, independent of thread layout.
+      util::SplitMix64 seeder(config.master_seed +
+                              0x9E3779B97F4A7C15ULL * (rep + 1));
+      std::vector<std::unique_ptr<proc::FrameSource>> sources;
+      sources.reserve(config.n_sources);
+      for (std::size_t s = 0; s < config.n_sources; ++s) {
+        sources.push_back(model.make_source(seeder.next()));
+      }
+      FluidRunConfig run;
+      run.frames = config.frames_per_replication;
+      run.warmup_frames = config.warmup_frames;
+      run.capacity_cells = config.capacity_cells;
+      run.buffer_sizes_cells = config.buffer_sizes_cells;
+      run.bop_thresholds_cells = config.bop_thresholds_cells;
+      per_rep[rep] = FluidMux::run(sources, run);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  // Aggregate.
+  ReplicationResult result;
+  result.clr.resize(config.buffer_sizes_cells.size());
+  result.bop.resize(config.bop_thresholds_cells.size());
+  for (std::size_t i = 0; i < result.clr.size(); ++i) {
+    result.clr[i].buffer_cells = config.buffer_sizes_cells[i];
+  }
+  for (std::size_t i = 0; i < result.bop.size(); ++i) {
+    result.bop[i].threshold_cells = config.bop_thresholds_cells[i];
+  }
+
+  double total_arrived = 0.0;
+  std::uint64_t total_frames = 0;
+  std::vector<std::vector<double>> clr_samples(result.clr.size());
+  std::vector<std::vector<double>> bop_samples(result.bop.size());
+  std::vector<double> lost_totals(result.clr.size(), 0.0);
+  std::vector<double> exceed_totals(result.bop.size(), 0.0);
+
+  for (const FluidRunResult& run : per_rep) {
+    total_arrived += run.arrived_cells;
+    total_frames += run.frames;
+    for (std::size_t i = 0; i < run.clr.size(); ++i) {
+      clr_samples[i].push_back(run.clr[i].clr(run.arrived_cells));
+      lost_totals[i] += run.clr[i].lost_cells;
+    }
+    for (std::size_t i = 0; i < run.bop.size(); ++i) {
+      bop_samples[i].push_back(run.bop[i].bop(run.frames));
+      exceed_totals[i] += static_cast<double>(run.bop[i].exceed_frames);
+    }
+  }
+
+  for (std::size_t i = 0; i < result.clr.size(); ++i) {
+    result.clr[i].clr = stats::replication_interval(clr_samples[i]);
+    result.clr[i].pooled_clr =
+        total_arrived > 0.0 ? lost_totals[i] / total_arrived : 0.0;
+  }
+  for (std::size_t i = 0; i < result.bop.size(); ++i) {
+    result.bop[i].bop = stats::replication_interval(bop_samples[i]);
+    result.bop[i].pooled_bop =
+        total_frames > 0 ? exceed_totals[i] / static_cast<double>(total_frames)
+                         : 0.0;
+  }
+  result.total_arrived_cells = total_arrived;
+  result.total_frames = total_frames;
+  return result;
+}
+
+ReplicationConfig default_scale() {
+  ReplicationConfig config;
+  config.replications = 12;
+  config.frames_per_replication = 120000;
+  config.warmup_frames = 2000;
+  return config;
+}
+
+ReplicationConfig paper_scale() {
+  ReplicationConfig config;
+  config.replications = 60;
+  config.frames_per_replication = 500000;
+  config.warmup_frames = 5000;
+  return config;
+}
+
+ReplicationConfig apply_env_overrides(ReplicationConfig config) {
+  if (util::env_flag("REPRO_FULL")) {
+    const ReplicationConfig full = paper_scale();
+    config.replications = full.replications;
+    config.frames_per_replication = full.frames_per_replication;
+    config.warmup_frames = full.warmup_frames;
+  }
+  config.replications = static_cast<std::size_t>(util::env_int(
+      "REPRO_REPS", static_cast<std::int64_t>(config.replications)));
+  config.frames_per_replication = static_cast<std::uint64_t>(util::env_int(
+      "REPRO_FRAMES",
+      static_cast<std::int64_t>(config.frames_per_replication)));
+  return config;
+}
+
+}  // namespace cts::sim

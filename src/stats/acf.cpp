@@ -1,0 +1,60 @@
+#include "cts/stats/acf.hpp"
+
+#include "cts/util/error.hpp"
+
+namespace cts::stats {
+
+double sample_mean(const std::vector<double>& series) {
+  util::require(!series.empty(), "sample_mean: empty series");
+  double acc = 0.0;
+  for (const double x : series) acc += x;
+  return acc / static_cast<double>(series.size());
+}
+
+double sample_variance(const std::vector<double>& series) {
+  const double m = sample_mean(series);
+  double acc = 0.0;
+  for (const double x : series) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(series.size());
+}
+
+std::vector<double> autocovariance(const std::vector<double>& series,
+                                   std::size_t max_lag) {
+  util::require(series.size() > max_lag,
+                "autocovariance: series shorter than max_lag");
+  const std::size_t n = series.size();
+  const double m = sample_mean(series);
+  std::vector<double> centered(n);
+  for (std::size_t i = 0; i < n; ++i) centered[i] = series[i] - m;
+  std::vector<double> gamma(max_lag + 1, 0.0);
+  for (std::size_t k = 0; k <= max_lag; ++k) {
+    double acc = 0.0;
+    for (std::size_t t = 0; t + k < n; ++t) acc += centered[t] * centered[t + k];
+    gamma[k] = acc / static_cast<double>(n);
+  }
+  return gamma;
+}
+
+std::vector<double> autocorrelation(const std::vector<double>& series,
+                                    std::size_t max_lag) {
+  std::vector<double> gamma = autocovariance(series, max_lag);
+  util::require(gamma[0] > 0.0, "autocorrelation: zero variance");
+  const double inv = 1.0 / gamma[0];
+  for (auto& g : gamma) g *= inv;
+  return gamma;
+}
+
+std::vector<double> aggregate_series(const std::vector<double>& series,
+                                     std::size_t m) {
+  util::require(m >= 1, "aggregate_series: m must be >= 1");
+  const std::size_t blocks = series.size() / m;
+  std::vector<double> out(blocks, 0.0);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) acc += series[b * m + i];
+    out[b] = acc / static_cast<double>(m);
+  }
+  return out;
+}
+
+}  // namespace cts::stats

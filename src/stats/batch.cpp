@@ -1,0 +1,44 @@
+#include "cts/stats/batch.hpp"
+
+#include <cmath>
+
+#include "cts/util/error.hpp"
+#include "cts/util/student_t.hpp"
+
+namespace cts::stats {
+
+IntervalEstimate replication_interval(const std::vector<double>& estimates,
+                                      double confidence) {
+  util::require(!estimates.empty(), "replication_interval: no estimates");
+  IntervalEstimate out;
+  out.samples = estimates.size();
+  double mean = 0.0;
+  for (const double e : estimates) mean += e;
+  mean /= static_cast<double>(estimates.size());
+  out.mean = mean;
+  if (estimates.size() < 2) return out;
+  double ss = 0.0;
+  for (const double e : estimates) ss += (e - mean) * (e - mean);
+  const double stddev =
+      std::sqrt(ss / static_cast<double>(estimates.size() - 1));
+  out.half_width =
+      util::confidence_half_width(stddev, estimates.size(), confidence);
+  return out;
+}
+
+IntervalEstimate batch_means_interval(const std::vector<double>& series,
+                                      std::size_t batches, double confidence) {
+  util::require(batches >= 2, "batch_means_interval: need >= 2 batches");
+  util::require(series.size() >= batches,
+                "batch_means_interval: series shorter than batch count");
+  const std::size_t len = series.size() / batches;
+  std::vector<double> means(batches, 0.0);
+  for (std::size_t b = 0; b < batches; ++b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < len; ++i) acc += series[b * len + i];
+    means[b] = acc / static_cast<double>(len);
+  }
+  return replication_interval(means, confidence);
+}
+
+}  // namespace cts::stats

@@ -1,0 +1,64 @@
+#include "cts/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "cts/util/error.hpp"
+
+namespace cts::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  util::require(hi > lo, "Histogram: hi must exceed lo");
+  util::require(bins >= 1, "Histogram: need at least one bin");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;  // fp edge guard
+  ++counts_[bin];
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  util::require(bin < counts_.size(), "Histogram: bin out of range");
+  return lo_ + static_cast<double>(bin) * width_;
+}
+
+double Histogram::bin_high(std::size_t bin) const {
+  return bin_low(bin) + width_;
+}
+
+double Histogram::density(std::size_t bin) const {
+  util::require(bin < counts_.size(), "Histogram: bin out of range");
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) /
+         (static_cast<double>(total_) * width_);
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar = static_cast<std::size_t>(
+        std::llround(static_cast<double>(counts_[b]) /
+                     static_cast<double>(peak) *
+                     static_cast<double>(bar_width)));
+    out << "[" << bin_low(b) << ", " << bin_high(b) << ") "
+        << std::string(bar, '#') << " " << counts_[b] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace cts::stats

@@ -1,0 +1,45 @@
+#include "cts/stats/ks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cts/util/error.hpp"
+#include "cts/util/math.hpp"
+
+namespace cts::stats {
+
+KsResult ks_test_normal(std::vector<double> sample, double mean,
+                        double variance) {
+  util::require(!sample.empty(), "ks_test_normal: empty sample");
+  util::require(variance > 0.0, "ks_test_normal: variance must be > 0");
+  std::sort(sample.begin(), sample.end());
+  const double n = static_cast<double>(sample.size());
+  const double sd = std::sqrt(variance);
+  double d = 0.0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    const double cdf = util::normal_cdf((sample[i] - mean) / sd);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::abs(cdf - lo), std::abs(hi - cdf)));
+  }
+  KsResult result;
+  result.statistic = d;
+  result.p_value = kolmogorov_q(std::sqrt(n) * d);
+  return result;
+}
+
+double kolmogorov_q(double x) {
+  if (x <= 0.0) return 1.0;
+  // Alternating series; converges fast for x > 0.2.  For tiny x the
+  // complementary form is unnecessary here because Q ~ 1 anyway.
+  double sum = 0.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * static_cast<double>(j) *
+                                 static_cast<double>(j) * x * x);
+    sum += (j % 2 == 1 ? term : -term);
+    if (term < 1e-16) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+}  // namespace cts::stats

@@ -1,0 +1,53 @@
+#include "cts/util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "cts/util/error.hpp"
+
+namespace cts::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  require(!headers_.empty(), "CsvWriter: need at least one column");
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(),
+          "CsvWriter::add_row: cell count must match header count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::render() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << escape(row[c]);
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+bool CsvWriter::write(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  file << render();
+  return static_cast<bool>(file);
+}
+
+}  // namespace cts::util

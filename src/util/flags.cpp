@@ -1,0 +1,96 @@
+#include "cts/util/flags.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "cts/util/error.hpp"
+
+namespace cts::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) continue;  // ignore positionals
+    token.erase(0, 2);
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      const std::string key = token.substr(0, eq);
+      require(!key.empty(), "Flags: empty flag name in '--" + token + "'");
+      values_[key] = token.substr(eq + 1);
+      continue;
+    }
+    require(!token.empty(), "Flags: bare '--' is not a flag");
+    // "--key value" when the next token is not itself a flag; otherwise a
+    // boolean "--key".
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[token] = argv[i + 1];
+      ++i;
+    } else {
+      values_[token] = "true";
+    }
+  }
+}
+
+bool Flags::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Flags::get_string(const std::string& key,
+                              const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& key,
+                            std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw InvalidArgument("Flags: --" + key + " expects an integer, got '" +
+                          it->second + "'");
+  }
+}
+
+double Flags::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw InvalidArgument("Flags: --" + key + " expects a number, got '" +
+                          it->second + "'");
+  }
+}
+
+bool Flags::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+bool env_flag(const std::string& name) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return false;
+  std::string v = raw;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return fallback;
+  try {
+    return std::stoll(raw);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+}  // namespace cts::util

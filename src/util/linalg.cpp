@@ -1,0 +1,109 @@
+#include "cts/util/linalg.hpp"
+
+#include <cmath>
+
+#include "cts/util/error.hpp"
+
+namespace cts::util {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+std::vector<double> Matrix::multiply(const std::vector<double>& v) const {
+  require(v.size() == cols_, "Matrix::multiply: dimension mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+std::vector<double> solve_dense(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  require(a.cols() == n, "solve_dense: matrix must be square");
+  require(b.size() == n, "solve_dense: rhs size mismatch");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: find the largest magnitude entry in this column.
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::abs(a(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) {
+      throw NumericalError("solve_dense: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = col; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) * inv;
+      if (factor == 0.0) continue;
+      a(r, col) = 0.0;
+      for (std::size_t c = col + 1; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= a(ri, c) * x[c];
+    x[ri] = acc / a(ri, ri);
+  }
+  return x;
+}
+
+std::vector<double> solve_toeplitz(const std::vector<double>& t,
+                                   const std::vector<double>& b) {
+  const std::size_t n = b.size();
+  require(!t.empty() && t.size() >= n,
+          "solve_toeplitz: need t[0..n-1] for an n-dimensional system");
+  require(n >= 1, "solve_toeplitz: empty system");
+  if (std::abs(t[0]) < 1e-300) {
+    throw NumericalError("solve_toeplitz: t[0] is zero");
+  }
+
+  // Levinson recursion for symmetric Toeplitz T(i,j) = t[|i-j|].
+  std::vector<double> x(n, 0.0);   // solution of the growing system
+  std::vector<double> f(n, 0.0);   // forward vector
+  x[0] = b[0] / t[0];
+  f[0] = 1.0 / t[0];
+
+  for (std::size_t k = 1; k < n; ++k) {
+    // Error of the forward vector extended by zero.
+    double ef = 0.0;
+    for (std::size_t i = 0; i < k; ++i) ef += t[k - i] * f[i];
+    const double denom = 1.0 - ef * ef;
+    if (std::abs(denom) < 1e-300) {
+      throw NumericalError("solve_toeplitz: singular leading minor");
+    }
+    // New forward vector (symmetric case: backward = reversed forward).
+    std::vector<double> fnew(k + 1, 0.0);
+    for (std::size_t i = 0; i <= k; ++i) {
+      const double fi = i < k ? f[i] : 0.0;
+      const double fbi = i >= 1 ? f[k - i] : 0.0;  // reversed, shifted
+      fnew[i] = (fi - ef * fbi) / denom;
+    }
+    // Error of the current solution extended by zero.
+    double ex = 0.0;
+    for (std::size_t i = 0; i < k; ++i) ex += t[k - i] * x[i];
+    const double scale = b[k] - ex;
+    for (std::size_t i = 0; i <= k; ++i) {
+      const double backward = fnew[k - i];  // reversal of fnew
+      x[i] += scale * backward;
+    }
+    for (std::size_t i = 0; i <= k; ++i) f[i] = fnew[i];
+  }
+  return x;
+}
+
+}  // namespace cts::util

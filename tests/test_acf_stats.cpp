@@ -1,0 +1,73 @@
+// Unit tests for empirical ACF estimation and series aggregation.
+
+#include "cts/stats/acf.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cts/util/error.hpp"
+#include "cts/util/rng.hpp"
+
+namespace cs = cts::stats;
+namespace cu = cts::util;
+
+TEST(SampleMoments, KnownSeries) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(cs::sample_mean(x), 3.0);
+  EXPECT_DOUBLE_EQ(cs::sample_variance(x), 2.0);  // biased 1/n
+}
+
+TEST(SampleMoments, RejectEmpty) {
+  EXPECT_THROW(cs::sample_mean({}), cu::InvalidArgument);
+}
+
+TEST(Autocovariance, WhiteNoiseIsUncorrelated) {
+  cu::Xoshiro256pp rng(13);
+  std::vector<double> x(100000);
+  for (auto& v : x) v = rng.uniform01() - 0.5;
+  const std::vector<double> gamma = cs::autocovariance(x, 5);
+  EXPECT_NEAR(gamma[0], 1.0 / 12.0, 0.002);  // variance of U(-1/2, 1/2)
+  for (std::size_t k = 1; k <= 5; ++k) {
+    EXPECT_NEAR(gamma[k], 0.0, 0.002) << "lag " << k;
+  }
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  cu::Xoshiro256pp rng(17);
+  std::vector<double> x(1000);
+  for (auto& v : x) v = rng.uniform01();
+  const std::vector<double> r = cs::autocorrelation(x, 3);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+}
+
+TEST(Autocorrelation, AlternatingSeriesIsNegativeAtLagOne) {
+  std::vector<double> x(1000);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  const std::vector<double> r = cs::autocorrelation(x, 2);
+  EXPECT_NEAR(r[1], -1.0, 0.01);
+  EXPECT_NEAR(r[2], 1.0, 0.01);
+}
+
+TEST(Autocorrelation, RejectsDegenerateInput) {
+  EXPECT_THROW(cs::autocorrelation({1.0, 1.0, 1.0}, 1), cu::InvalidArgument);
+  EXPECT_THROW(cs::autocovariance({1.0, 2.0}, 5), cu::InvalidArgument);
+}
+
+TEST(AggregateSeries, BlockMeans) {
+  const std::vector<double> x = {1, 2, 3, 4, 5, 6, 7};
+  const std::vector<double> agg = cs::aggregate_series(x, 3);
+  ASSERT_EQ(agg.size(), 2u);  // trailing partial block dropped
+  EXPECT_DOUBLE_EQ(agg[0], 2.0);
+  EXPECT_DOUBLE_EQ(agg[1], 5.0);
+}
+
+TEST(AggregateSeries, IdentityAtMOne) {
+  const std::vector<double> x = {3, 1, 4};
+  const std::vector<double> agg = cs::aggregate_series(x, 1);
+  EXPECT_EQ(agg, x);
+}
+
+TEST(AggregateSeries, RejectsZeroM) {
+  EXPECT_THROW(cs::aggregate_series({1.0}, 0), cu::InvalidArgument);
+}

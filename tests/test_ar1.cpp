@@ -1,0 +1,77 @@
+// Unit tests for the Gaussian AR(1) source.
+
+#include "cts/proc/ar1.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cts/stats/acf.hpp"
+#include "cts/util/accumulator.hpp"
+#include "cts/util/error.hpp"
+
+namespace cp = cts::proc;
+namespace cs = cts::stats;
+namespace cu = cts::util;
+
+TEST(Ar1Params, Validation) {
+  cp::Ar1Params p;
+  p.phi = 0.9;
+  EXPECT_NO_THROW(p.validate());
+  p.phi = 1.0;
+  EXPECT_THROW(p.validate(), cu::InvalidArgument);
+  p.phi = 0.5;
+  p.variance = 0.0;
+  EXPECT_THROW(p.validate(), cu::InvalidArgument);
+}
+
+TEST(Ar1Source, StationaryMoments) {
+  cp::Ar1Params p;
+  p.phi = 0.8;
+  p.mean = 500.0;
+  p.variance = 5000.0;
+  cp::Ar1Source source(p, 17);
+  cu::MomentAccumulator acc;
+  for (int i = 0; i < 300000; ++i) acc.add(source.next_frame());
+  EXPECT_NEAR(acc.mean(), 500.0, 3.0);
+  EXPECT_NEAR(acc.variance(), 5000.0, 300.0);
+}
+
+TEST(Ar1Source, AcfIsGeometric) {
+  cp::Ar1Params p;
+  p.phi = 0.7;
+  p.mean = 0.0;
+  p.variance = 1.0;
+  cp::Ar1Source source(p, 29);
+  std::vector<double> trace(200000);
+  for (auto& x : trace) x = source.next_frame();
+  const std::vector<double> r = cs::autocorrelation(trace, 8);
+  for (std::size_t k = 1; k <= 8; ++k) {
+    EXPECT_NEAR(r[k], std::pow(0.7, static_cast<double>(k)), 0.02)
+        << "lag " << k;
+  }
+}
+
+TEST(Ar1Source, NegativePhiAlternates) {
+  cp::Ar1Params p;
+  p.phi = -0.6;
+  p.mean = 0.0;
+  p.variance = 1.0;
+  cp::Ar1Source source(p, 41);
+  std::vector<double> trace(100000);
+  for (auto& x : trace) x = source.next_frame();
+  const std::vector<double> r = cs::autocorrelation(trace, 2);
+  EXPECT_NEAR(r[1], -0.6, 0.02);
+  EXPECT_NEAR(r[2], 0.36, 0.02);
+}
+
+TEST(Ar1Source, CloneDeterminism) {
+  cp::Ar1Params p;
+  p.phi = 0.5;
+  cp::Ar1Source source(p, 1);
+  auto a = source.clone(77);
+  auto b = source.clone(77);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a->next_frame(), b->next_frame());
+  }
+}

@@ -1,0 +1,106 @@
+// Unit tests for ATM cell framing and HEC protection.
+
+#include "cts/atm/cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cts/util/error.hpp"
+
+namespace ca = cts::atm;
+namespace cu = cts::util;
+
+TEST(CellHeader, ValidationBounds) {
+  ca::CellHeader h;
+  h.gfc = 0x0F;
+  h.pt = 0x07;
+  EXPECT_NO_THROW(h.validate());
+  h.gfc = 0x10;
+  EXPECT_THROW(h.validate(), cu::InvalidArgument);
+  h.gfc = 0;
+  h.pt = 0x08;
+  EXPECT_THROW(h.validate(), cu::InvalidArgument);
+}
+
+TEST(HecCrc8, ZeroInputGivesCoset) {
+  const std::uint8_t zeros[4] = {0, 0, 0, 0};
+  EXPECT_EQ(ca::hec_crc8(zeros, 4), 0x55);
+}
+
+TEST(HeaderCodec, RoundTripsAllFields) {
+  ca::CellHeader h;
+  h.gfc = 0x5;
+  h.vpi = 0xAB;
+  h.vci = 0x1234;
+  h.pt = 0x3;
+  h.clp = true;
+  const auto bytes = ca::encode_header(h);
+  const auto decoded = ca::decode_header(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->gfc, h.gfc);
+  EXPECT_EQ(decoded->vpi, h.vpi);
+  EXPECT_EQ(decoded->vci, h.vci);
+  EXPECT_EQ(decoded->pt, h.pt);
+  EXPECT_EQ(decoded->clp, h.clp);
+}
+
+TEST(HeaderCodec, DetectsAnySingleBitCorruption) {
+  ca::CellHeader h;
+  h.vpi = 0x42;
+  h.vci = 0x0F0F;
+  auto bytes = ca::encode_header(h);
+  for (std::size_t byte = 0; byte < 4; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto corrupted = bytes;
+      corrupted[byte] = static_cast<std::uint8_t>(corrupted[byte] ^
+                                                  (1u << bit));
+      EXPECT_FALSE(ca::decode_header(corrupted).has_value())
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+class HeaderSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(HeaderSweepTest, RoundTripAcrossFieldGrid) {
+  const auto [vpi, vci, pt] = GetParam();
+  ca::CellHeader h;
+  h.vpi = static_cast<std::uint8_t>(vpi);
+  h.vci = static_cast<std::uint16_t>(vci);
+  h.pt = static_cast<std::uint8_t>(pt);
+  h.clp = (vci % 2) == 0;
+  const auto decoded = ca::decode_header(ca::encode_header(h));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->vpi, h.vpi);
+  EXPECT_EQ(decoded->vci, h.vci);
+  EXPECT_EQ(decoded->pt, h.pt);
+  EXPECT_EQ(decoded->clp, h.clp);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FieldGrid, HeaderSweepTest,
+    ::testing::Combine(::testing::Values(0, 1, 127, 255),
+                       ::testing::Values(0, 32, 4095, 65535),
+                       ::testing::Values(0, 3, 7)));
+
+TEST(CellCodec, FullCellRoundTrip) {
+  ca::Cell cell;
+  cell.header.vpi = 7;
+  cell.header.vci = 77;
+  for (std::size_t i = 0; i < ca::kPayloadBytes; ++i) {
+    cell.payload[i] = static_cast<std::uint8_t>(i * 3);
+  }
+  const auto bytes = ca::encode_cell(cell);
+  ASSERT_EQ(bytes.size(), ca::kCellBytes);
+  const auto decoded = ca::decode_cell(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->header.vci, 77);
+  EXPECT_EQ(decoded->payload, cell.payload);
+}
+
+TEST(CellCodec, CorruptHeaderRejectsWholeCell) {
+  ca::Cell cell;
+  auto bytes = ca::encode_cell(cell);
+  bytes[2] ^= 0x01;
+  EXPECT_FALSE(ca::decode_cell(bytes).has_value());
+}

@@ -1,0 +1,101 @@
+// Unit tests for connection admission control.
+
+#include "cts/atm/cac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cts/util/error.hpp"
+
+namespace ca = cts::atm;
+namespace cf = cts::fit;
+namespace cu = cts::util;
+
+namespace {
+
+ca::CacProblem paper_problem() {
+  ca::CacProblem p;
+  p.capacity_cells_per_frame = 16140.0;  // 30 x 538
+  p.buffer_cells = 4035.0;               // 10 ms at that drain rate
+  p.log10_target_clr = -6.0;
+  return p;
+}
+
+}  // namespace
+
+TEST(CacProblem, Validation) {
+  EXPECT_NO_THROW(paper_problem().validate());
+  ca::CacProblem p = paper_problem();
+  p.capacity_cells_per_frame = 0.0;
+  EXPECT_THROW(p.validate(), cu::InvalidArgument);
+  p = paper_problem();
+  p.log10_target_clr = 0.0;
+  EXPECT_THROW(p.validate(), cu::InvalidArgument);
+}
+
+TEST(CacBr, AdmitsReasonableCountAndMeetsTarget) {
+  const cf::ModelSpec model = cf::make_za(0.9);
+  const ca::CacResult result =
+      ca::admissible_connections_br(model, paper_problem());
+  // Peak-rate allocation would admit far fewer; mean-rate ~32.  Statistical
+  // multiplexing should land strictly between, at a plausible count.
+  EXPECT_GE(result.admissible, 15u);
+  EXPECT_LE(result.admissible, 32u);
+  EXPECT_LE(result.log10_bop_at_max, -6.0);
+}
+
+TEST(CacBr, MonotoneInQosTargetAndBuffer) {
+  const cf::ModelSpec model = cf::make_za(0.975);
+  ca::CacProblem loose = paper_problem();
+  loose.log10_target_clr = -4.0;
+  ca::CacProblem tight = paper_problem();
+  tight.log10_target_clr = -9.0;
+  EXPECT_GE(ca::admissible_connections_br(model, loose).admissible,
+            ca::admissible_connections_br(model, tight).admissible);
+
+  ca::CacProblem small_buf = paper_problem();
+  small_buf.buffer_cells = 400.0;
+  EXPECT_GE(ca::admissible_connections_br(model, paper_problem()).admissible,
+            ca::admissible_connections_br(model, small_buf).admissible);
+}
+
+TEST(CacBr, LrdAndMatchedMarkovAdmitSimilarCounts) {
+  // The paper's §5.4 punchline: the DAR model predicts nearly the same
+  // admissible-connection count as the LRD trace model.
+  const cf::ModelSpec za = cf::make_za(0.975);
+  const cf::ModelSpec dar = cf::make_dar_matched_to_za(0.975, 1);
+  const auto n_za = ca::admissible_connections_br(za, paper_problem());
+  const auto n_dar = ca::admissible_connections_br(dar, paper_problem());
+  const auto diff = n_za.admissible > n_dar.admissible
+                        ? n_za.admissible - n_dar.admissible
+                        : n_dar.admissible - n_za.admissible;
+  EXPECT_LE(diff, 2u);
+}
+
+TEST(CacBr, ZeroWhenTargetUnreachable) {
+  const cf::ModelSpec model = cf::make_za(0.99);
+  ca::CacProblem p = paper_problem();
+  p.capacity_cells_per_frame = 510.0;  // barely above one source's mean
+  p.buffer_cells = 10.0;
+  p.log10_target_clr = -12.0;
+  const ca::CacResult result = ca::admissible_connections_br(model, p);
+  EXPECT_EQ(result.admissible, 0u);
+}
+
+TEST(CacEb, WorksForMarkovThrowsForLrd) {
+  const cf::ModelSpec dar = cf::make_dar_matched_to_za(0.9, 1);
+  const ca::CacResult eb = ca::admissible_connections_eb(dar, paper_problem());
+  EXPECT_GT(eb.admissible, 0u);
+  // LRD model: no finite asymptotic variance rate -> no effective bandwidth.
+  const cf::ModelSpec l = cf::make_l();
+  EXPECT_THROW(ca::admissible_connections_eb(l, paper_problem()),
+               cu::NumericalError);
+}
+
+TEST(CacEbVsBr, EbIsMoreConservativeAtLargeBuffers) {
+  // EB ignores the buffer's full correlation discount; for a strongly
+  // correlated SRD source it should admit no more than B-R.
+  const cf::ModelSpec dar = cf::make_dar_matched_to_za(0.975, 1);
+  const auto br = ca::admissible_connections_br(dar, paper_problem());
+  const auto eb = ca::admissible_connections_eb(dar, paper_problem());
+  EXPECT_LE(eb.admissible, br.admissible + 1);
+}

@@ -1,0 +1,86 @@
+// Unit tests for the experiment-curve helpers.
+
+#include "cts/sim/curves.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cts/util/error.hpp"
+
+namespace cf = cts::fit;
+namespace cm = cts::sim;
+namespace cu = cts::util;
+
+TEST(MuxGeometry, BufferConversionsRoundTrip) {
+  cm::MuxGeometry g;
+  g.n_sources = 30;
+  g.bandwidth_per_source = 538.0;
+  g.Ts = 0.04;
+  // 30 * 538 cells per 40 ms -> 403.5 cells/ms.
+  EXPECT_NEAR(g.buffer_ms_to_cells(1.0), 403.5, 1e-9);
+  for (const double ms : {0.5, 2.0, 30.0}) {
+    EXPECT_NEAR(g.buffer_cells_to_ms(g.buffer_ms_to_cells(ms)), ms, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(g.total_capacity(), 16140.0);
+}
+
+TEST(BufferGrids, GeometricAndLinear) {
+  const std::vector<double> geo = cm::buffer_grid_ms(1.0, 100.0, 5);
+  ASSERT_EQ(geo.size(), 5u);
+  EXPECT_DOUBLE_EQ(geo.front(), 1.0);
+  EXPECT_DOUBLE_EQ(geo.back(), 100.0);
+  EXPECT_NEAR(geo[1] / geo[0], geo[2] / geo[1], 1e-9);
+
+  const std::vector<double> lin = cm::linear_grid_ms(0.0, 10.0, 6);
+  ASSERT_EQ(lin.size(), 6u);
+  EXPECT_DOUBLE_EQ(lin[1] - lin[0], 2.0);
+
+  EXPECT_THROW(cm::buffer_grid_ms(0.0, 10.0, 5), cu::InvalidArgument);
+  EXPECT_THROW(cm::linear_grid_ms(5.0, 1.0, 5), cu::InvalidArgument);
+}
+
+TEST(BrCurve, MonotoneDecreasingInBuffer) {
+  const cf::ModelSpec model = cf::make_za(0.9);
+  cm::MuxGeometry g;
+  const std::vector<double> grid = cm::linear_grid_ms(0.5, 20.0, 8);
+  const cm::AnalyticCurve curve = cm::br_curve(model, g, grid);
+  ASSERT_EQ(curve.log10_bop.size(), grid.size());
+  for (std::size_t i = 1; i < curve.log10_bop.size(); ++i) {
+    EXPECT_LT(curve.log10_bop[i], curve.log10_bop[i - 1]);
+  }
+  // CTS column populated and non-decreasing.
+  for (std::size_t i = 1; i < curve.critical_m.size(); ++i) {
+    EXPECT_GE(curve.critical_m[i], curve.critical_m[i - 1]);
+  }
+}
+
+TEST(LargeNCurve, AlwaysAboveBr) {
+  const cf::ModelSpec model = cf::make_dar_matched_to_za(0.975, 1);
+  cm::MuxGeometry g;
+  const std::vector<double> grid = cm::linear_grid_ms(1.0, 10.0, 4);
+  const cm::AnalyticCurve br = cm::br_curve(model, g, grid);
+  const cm::AnalyticCurve ln = cm::large_n_curve(model, g, grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_GT(ln.log10_bop[i], br.log10_bop[i]);
+  }
+}
+
+TEST(SimulatedClrCurve, RunsAndIsMonotoneOnAverage) {
+  const cf::ModelSpec model = cf::make_ar1(0.9);
+  cm::MuxGeometry g;
+  g.n_sources = 10;
+  g.bandwidth_per_source = 520.0;
+  cm::ReplicationConfig scale;
+  scale.replications = 3;
+  scale.frames_per_replication = 8000;
+  scale.warmup_frames = 200;
+  const std::vector<double> grid = {0.1, 5.0};
+  const cm::SimulatedCurve curve =
+      cm::simulated_clr_curve(model, g, grid, scale);
+  ASSERT_EQ(curve.clr.size(), 2u);
+  EXPECT_GT(curve.clr[0], 0.0);
+  EXPECT_GE(curve.clr[0], curve.clr[1]);
+  EXPECT_EQ(curve.total_frames, 3u * 8000u);
+  EXPECT_LE(curve.ci_low[0], curve.clr[0] + 1e-12);
+}

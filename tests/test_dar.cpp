@@ -1,0 +1,133 @@
+// Unit tests for the DAR(p) process.
+
+#include "cts/proc/dar.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cts/stats/acf.hpp"
+#include "cts/util/accumulator.hpp"
+#include "cts/util/error.hpp"
+
+namespace cp = cts::proc;
+namespace cs = cts::stats;
+namespace cu = cts::util;
+
+namespace {
+
+cp::DarParams dar1(double rho) {
+  cp::DarParams p;
+  p.rho = rho;
+  p.lag_probs = {1.0};
+  p.mean = 500.0;
+  p.variance = 5000.0;
+  return p;
+}
+
+}  // namespace
+
+TEST(DarParams, Validation) {
+  EXPECT_NO_THROW(dar1(0.8).validate());
+  EXPECT_THROW(dar1(1.0).validate(), cu::InvalidArgument);
+  EXPECT_THROW(dar1(-0.1).validate(), cu::InvalidArgument);
+  cp::DarParams p = dar1(0.5);
+  p.lag_probs = {0.5, 0.4};  // does not sum to 1
+  EXPECT_THROW(p.validate(), cu::InvalidArgument);
+  p.lag_probs.clear();
+  EXPECT_THROW(p.validate(), cu::InvalidArgument);
+}
+
+TEST(DarParams, Dar1AcfIsGeometric) {
+  const cp::DarParams p = dar1(0.8);
+  const std::vector<double> r = p.acf(10);
+  for (std::size_t k = 0; k <= 10; ++k) {
+    EXPECT_NEAR(r[k], std::pow(0.8, static_cast<double>(k)), 1e-12);
+  }
+}
+
+TEST(DarParams, DarPAcfSatisfiesRecursionBeyondP) {
+  cp::DarParams p;
+  p.rho = 0.87;
+  p.lag_probs = {0.7, 0.3};
+  p.mean = 0.0;
+  p.variance = 1.0;
+  const std::vector<double> r = p.acf(50);
+  for (std::size_t k = 3; k <= 50; ++k) {
+    EXPECT_NEAR(r[k], p.rho * (0.7 * r[k - 1] + 0.3 * r[k - 2]), 1e-12);
+  }
+  // And the implicit first lags satisfy it too (with symmetric extension).
+  EXPECT_NEAR(r[1], p.rho * (0.7 * r[0] + 0.3 * r[1]), 1e-10);
+  EXPECT_NEAR(r[2], p.rho * (0.7 * r[1] + 0.3 * r[0]), 1e-10);
+}
+
+TEST(DarSource, MarginalMatchesInnovations) {
+  const cp::DarParams p = dar1(0.9);
+  cp::DarSource source(p, 11);
+  cu::MomentAccumulator acc;
+  for (int i = 0; i < 300000; ++i) acc.add(source.next_frame());
+  // DAR marginal equals the innovation marginal; strong correlation slows
+  // convergence, hence the loose-ish tolerances.
+  EXPECT_NEAR(acc.mean(), 500.0, 5.0);
+  EXPECT_NEAR(acc.variance(), 5000.0, 500.0);
+}
+
+TEST(DarSource, EmpiricalAcfMatchesAnalytic) {
+  const cp::DarParams p = dar1(0.7);
+  cp::DarSource source(p, 23);
+  std::vector<double> trace(200000);
+  for (auto& x : trace) x = source.next_frame();
+  const std::vector<double> r = cs::autocorrelation(trace, 10);
+  const std::vector<double> expected = p.acf(10);
+  for (std::size_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(r[k], expected[k], 0.02) << "lag " << k;
+  }
+}
+
+TEST(DarSource, Dar2EmpiricalAcfMatchesAnalytic) {
+  cp::DarParams p;
+  p.rho = 0.87;
+  p.lag_probs = {0.7, 0.3};
+  p.mean = 500.0;
+  p.variance = 5000.0;
+  cp::DarSource source(p, 37);
+  std::vector<double> trace(300000);
+  for (auto& x : trace) x = source.next_frame();
+  const std::vector<double> r = cs::autocorrelation(trace, 6);
+  const std::vector<double> expected = p.acf(6);
+  for (std::size_t k = 1; k <= 6; ++k) {
+    EXPECT_NEAR(r[k], expected[k], 0.03) << "lag " << k;
+  }
+}
+
+TEST(DarSource, RepeatsComeFromHistory) {
+  // With rho = 1 - epsilon the process should hold values for long runs.
+  const cp::DarParams p = dar1(0.99);
+  cp::DarSource source(p, 3);
+  int repeats = 0;
+  double prev = source.next_frame();
+  for (int i = 0; i < 10000; ++i) {
+    const double x = source.next_frame();
+    if (x == prev) ++repeats;
+    prev = x;
+  }
+  EXPECT_GT(repeats, 9500);
+}
+
+TEST(DarSource, CloneDeterminism) {
+  const cp::DarParams p = dar1(0.8);
+  cp::DarSource source(p, 1);
+  auto a = source.clone(1234);
+  auto b = source.clone(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a->next_frame(), b->next_frame());
+  }
+}
+
+TEST(DarSource, NameReportsOrder) {
+  cp::DarParams p;
+  p.rho = 0.5;
+  p.lag_probs = {0.5, 0.3, 0.2};
+  cp::DarSource source(p, 1);
+  EXPECT_EQ(source.name(), "DAR(3)");
+}

@@ -1,0 +1,79 @@
+// Unit tests for DAR(p) fitting.
+
+#include "cts/fit/dar_fit.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cts/core/acf_model.hpp"
+#include "cts/util/error.hpp"
+
+namespace cf = cts::fit;
+namespace cc = cts::core;
+namespace cu = cts::util;
+
+TEST(FitDar, OrderOneRecoversRho) {
+  const cf::DarFit fit = cf::fit_dar({0.82});
+  EXPECT_NEAR(fit.rho, 0.82, 1e-12);
+  ASSERT_EQ(fit.lag_probs.size(), 1u);
+  EXPECT_NEAR(fit.lag_probs[0], 1.0, 1e-12);
+  EXPECT_LT(fit.residual, 1e-10);
+}
+
+TEST(FitDar, MatchesTargetsExactlyForHigherOrders) {
+  // Targets generated from a known DAR(3) so the fit must round-trip.
+  const double rho = 0.85;
+  const std::vector<double> probs = {0.6, 0.25, 0.15};
+  const cc::DarAcf truth(rho, probs);
+  for (const std::size_t p : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    std::vector<double> targets(p);
+    for (std::size_t k = 1; k <= p; ++k) targets[k - 1] = truth.at(k);
+    const cf::DarFit fit = cf::fit_dar(targets);
+    EXPECT_LT(fit.residual, 1e-9) << "p=" << p;
+    const cc::DarAcf refit(fit.rho, fit.lag_probs);
+    for (std::size_t k = 1; k <= p; ++k) {
+      EXPECT_NEAR(refit.at(k), targets[k - 1], 1e-9) << "p=" << p << " k=" << k;
+    }
+  }
+  // Order 3 should exactly recover the generating parameters.
+  std::vector<double> t3(3);
+  for (std::size_t k = 1; k <= 3; ++k) t3[k - 1] = truth.at(k);
+  const cf::DarFit fit3 = cf::fit_dar(t3);
+  EXPECT_NEAR(fit3.rho, rho, 1e-9);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(fit3.lag_probs[i], probs[i], 1e-8);
+  }
+}
+
+TEST(FitDar, GeometricTargetsCollapseToOrderOneStructure) {
+  // Geometric targets a^k are AR(1)-like; the DAR(p) fit puts all lag mass
+  // on lag 1.
+  const double a = 0.75;
+  const cf::DarFit fit = cf::fit_dar({a, a * a, a * a * a});
+  EXPECT_NEAR(fit.rho, a, 1e-10);
+  EXPECT_NEAR(fit.lag_probs[0], 1.0, 1e-8);
+  EXPECT_NEAR(fit.lag_probs[1], 0.0, 1e-8);
+  EXPECT_NEAR(fit.lag_probs[2], 0.0, 1e-8);
+}
+
+TEST(FitDar, RejectsInfeasibleTargets) {
+  // Strong negative lag-1 cannot be a DAR process (rho >= 0).
+  EXPECT_THROW(cf::fit_dar({-0.8}), cu::InvalidArgument);
+  // |r| >= 1 is not a correlation.
+  EXPECT_THROW(cf::fit_dar({1.0}), cu::InvalidArgument);
+  EXPECT_THROW(cf::fit_dar({}), cu::InvalidArgument);
+}
+
+TEST(FitDarParams, PackagesMarginal) {
+  const cts::proc::DarParams params =
+      cf::fit_dar_params({0.7, 0.55}, 500.0, 5000.0);
+  EXPECT_DOUBLE_EQ(params.mean, 500.0);
+  EXPECT_DOUBLE_EQ(params.variance, 5000.0);
+  EXPECT_NO_THROW(params.validate());
+}
+
+TEST(FitDar, ZeroTargetsYieldWhiteDar) {
+  const cf::DarFit fit = cf::fit_dar({0.0, 0.0});
+  EXPECT_NEAR(fit.rho, 0.0, 1e-12);
+}

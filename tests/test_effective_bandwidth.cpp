@@ -1,0 +1,67 @@
+// Unit tests for the classical effective-bandwidth module.
+
+#include "cts/core/effective_bandwidth.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "cts/util/error.hpp"
+
+namespace cc = cts::core;
+namespace cu = cts::util;
+
+TEST(AsymptoticVarianceRate, WhiteNoiseIsMarginalVariance) {
+  const cc::WhiteAcf acf;
+  EXPECT_NEAR(cc::asymptotic_variance_rate(acf, 5000.0), 5000.0, 1e-6);
+}
+
+TEST(AsymptoticVarianceRate, GeometricClosedForm) {
+  // v_inf = sigma^2 (1 + 2 a/(1-a)) = sigma^2 (1+a)/(1-a).
+  for (const double a : {0.3, 0.8, 0.975}) {
+    const cc::GeometricAcf acf(a);
+    const double expected = 5000.0 * (1.0 + a) / (1.0 - a);
+    EXPECT_NEAR(cc::asymptotic_variance_rate(acf, 5000.0), expected,
+                1e-6 * expected)
+        << "a=" << a;
+  }
+}
+
+TEST(AsymptoticVarianceRate, DivergesForLrd) {
+  const cc::ExactLrdAcf acf(0.9, 0.9);
+  EXPECT_THROW(cc::asymptotic_variance_rate(acf, 5000.0),
+               cu::NumericalError);
+}
+
+TEST(EffectiveBandwidth, LinearInDelta) {
+  EXPECT_DOUBLE_EQ(cc::effective_bandwidth(500.0, 45000.0, 0.0), 500.0);
+  EXPECT_DOUBLE_EQ(cc::effective_bandwidth(500.0, 45000.0, 0.002),
+                   500.0 + 0.002 * 45000.0 / 2.0);
+}
+
+TEST(EffectiveBandwidth, RejectsNegativeInputs) {
+  EXPECT_THROW(cc::effective_bandwidth(500.0, -1.0, 0.1),
+               cu::InvalidArgument);
+  EXPECT_THROW(cc::effective_bandwidth(500.0, 1.0, -0.1),
+               cu::InvalidArgument);
+}
+
+TEST(DecayRateForTarget, ClosedForm) {
+  // delta = -ln(eps)/B with eps = 10^{-6}, B = 4035 cells.
+  EXPECT_NEAR(cc::decay_rate_for_target(-6.0, 4035.0),
+              6.0 * std::log(10.0) / 4035.0, 1e-12);
+  EXPECT_THROW(cc::decay_rate_for_target(0.0, 100.0), cu::InvalidArgument);
+  EXPECT_THROW(cc::decay_rate_for_target(-6.0, 0.0), cu::InvalidArgument);
+}
+
+TEST(EffectiveBandwidth, TighterQosNeedsMoreBandwidth) {
+  const cc::GeometricAcf acf(0.9);
+  const double v_rate = cc::asymptotic_variance_rate(acf, 5000.0);
+  const double eb_loose = cc::effective_bandwidth(
+      500.0, v_rate, cc::decay_rate_for_target(-4.0, 4035.0));
+  const double eb_tight = cc::effective_bandwidth(
+      500.0, v_rate, cc::decay_rate_for_target(-8.0, 4035.0));
+  EXPECT_GT(eb_tight, eb_loose);
+  EXPECT_GT(eb_loose, 500.0);
+}

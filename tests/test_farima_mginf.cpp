@@ -1,0 +1,156 @@
+// Unit tests for the F-ARIMA ACF and the M/G/infinity source.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cts/core/acf_model.hpp"
+#include "cts/core/rate_function.hpp"
+#include "cts/fit/model_zoo.hpp"
+#include "cts/proc/mginf.hpp"
+#include "cts/stats/acf.hpp"
+#include "cts/util/accumulator.hpp"
+#include "cts/util/error.hpp"
+
+namespace cc = cts::core;
+namespace cf = cts::fit;
+namespace cp = cts::proc;
+namespace cs = cts::stats;
+namespace cu = cts::util;
+
+TEST(FarimaAcf, FirstLagClosedForm) {
+  // r(1) = d / (1 - d).
+  for (const double d : {0.1, 0.25, 0.4}) {
+    const cc::FarimaAcf acf(d);
+    EXPECT_NEAR(acf.at(1), d / (1.0 - d), 1e-14) << "d=" << d;
+    EXPECT_DOUBLE_EQ(acf.at(0), 1.0);
+  }
+}
+
+TEST(FarimaAcf, TailIsPowerLaw) {
+  const double d = 0.3;  // H = 0.8
+  const cc::FarimaAcf acf(d);
+  // r(k) ~ C k^{2d-1}: ratio test.
+  const double r200 = acf.at(200);
+  const double r800 = acf.at(800);
+  EXPECT_NEAR(r800 / r200, std::pow(4.0, 2.0 * d - 1.0), 1e-3);
+}
+
+TEST(FarimaAcf, RejectsOutOfRangeD) {
+  EXPECT_THROW(cc::FarimaAcf(0.0), cu::InvalidArgument);
+  EXPECT_THROW(cc::FarimaAcf(0.5), cu::InvalidArgument);
+}
+
+TEST(FarimaModel, GeneratorMatchesAnalyticAcf) {
+  const cf::ModelSpec model = cf::make_farima(0.3);
+  auto source = model.make_source(99);
+  std::vector<double> trace(1 << 15);
+  for (auto& x : trace) x = source->next_frame();
+  const std::vector<double> r = cs::autocorrelation(trace, 6);
+  for (std::size_t k = 1; k <= 6; ++k) {
+    EXPECT_NEAR(r[k], model.acf->at(k), 0.06) << "lag " << k;
+  }
+  cu::MomentAccumulator acc;
+  for (const double x : trace) acc.add(x);
+  EXPECT_NEAR(acc.mean(), 500.0, 20.0);
+  EXPECT_NEAR(acc.variance(), 5000.0, 700.0);
+}
+
+TEST(MgInfParams, ValidationAndDerivedStats) {
+  cp::MgInfParams params = cp::MgInfParams::for_moments(500.0, 5000.0, 1.4);
+  EXPECT_NO_THROW(params.validate());
+  EXPECT_NEAR(params.hurst(), 0.8, 1e-12);
+  EXPECT_NEAR(params.frame_mean(), 500.0, 0.5);
+  EXPECT_NEAR(params.frame_variance(), 5000.0, 5.0);
+  EXPECT_DOUBLE_EQ(params.cells_per_session, 10.0);
+
+  params.beta = 2.5;
+  EXPECT_THROW(params.validate(), cu::InvalidArgument);
+  EXPECT_THROW(cp::MgInfParams::for_moments(500.0, 400.0, 1.4),
+               cu::InvalidArgument);
+}
+
+TEST(MgInfParams, SurvivalFunction) {
+  cp::MgInfParams params;
+  params.min_duration = 2.0;
+  params.beta = 1.5;
+  EXPECT_DOUBLE_EQ(params.duration_survival(0), 1.0);
+  EXPECT_DOUBLE_EQ(params.duration_survival(1), 1.0);
+  EXPECT_NEAR(params.duration_survival(8), std::pow(0.25, 1.5), 1e-12);
+}
+
+TEST(MgInfAcf, MatchesSurvivalRatio) {
+  const cp::MgInfParams params =
+      cp::MgInfParams::for_moments(500.0, 5000.0, 1.5);
+  const cp::MgInfAcf acf(params);
+  EXPECT_DOUBLE_EQ(acf.at(0), 1.0);
+  // r(k) decreasing, positive, power-law tail k^{1-beta}.
+  double prev = 1.0;
+  for (const std::size_t k : {std::size_t{1}, std::size_t{5},
+                              std::size_t{50}, std::size_t{500}}) {
+    const double r = acf.at(k);
+    EXPECT_GT(r, 0.0);
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+  const double ratio = acf.at(2000) / acf.at(500);
+  EXPECT_NEAR(ratio, std::pow(4.0, 1.0 - params.beta), 0.01);
+}
+
+TEST(MgInfSource, StationaryMomentsAndAcf) {
+  const cp::MgInfParams params =
+      cp::MgInfParams::for_moments(500.0, 5000.0, 1.5);
+  // Ensemble across sources (LRD: single paths converge slowly).
+  cu::MomentAccumulator acc;
+  for (int s = 0; s < 16; ++s) {
+    cp::MgInfSource source(params, 100 + static_cast<std::uint64_t>(s));
+    for (int i = 0; i < 20000; ++i) acc.add(source.next_frame());
+  }
+  EXPECT_NEAR(acc.mean(), 500.0, 20.0);
+  EXPECT_NEAR(acc.variance(), 5000.0, 1000.0);
+
+  cp::MgInfSource source(params, 7);
+  std::vector<double> trace(100000);
+  for (auto& x : trace) x = source.next_frame();
+  const std::vector<double> r = cs::autocorrelation(trace, 5);
+  const cp::MgInfAcf acf(params);
+  for (std::size_t k = 1; k <= 5; ++k) {
+    EXPECT_NEAR(r[k], acf.at(k), 0.08) << "lag " << k;
+  }
+}
+
+TEST(MgInfSource, ActiveSessionsNeverNegative) {
+  const cp::MgInfParams params =
+      cp::MgInfParams::for_moments(100.0, 1000.0, 1.3);
+  cp::MgInfSource source(params, 3);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = source.next_frame();
+    ASSERT_GE(x, 0.0);
+  }
+}
+
+TEST(MgInfSource, CloneDeterminism) {
+  const cp::MgInfParams params =
+      cp::MgInfParams::for_moments(500.0, 5000.0, 1.4);
+  cp::MgInfSource source(params, 1);
+  auto a = source.clone(55);
+  auto b = source.clone(55);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(a->next_frame(), b->next_frame());
+  }
+}
+
+TEST(MgInfModel, CtsMachineryAccepts) {
+  // The M/G/inf ACF plugs straight into the CTS machinery and behaves like
+  // every other model: finite, monotone CTS.
+  const cf::ModelSpec model = cf::make_mginf(1.4);
+  cc::RateFunction rate(model.acf, model.mean, model.variance, 526.0);
+  EXPECT_EQ(rate.evaluate(0.0).critical_m, 1u);
+  std::size_t prev = 0;
+  for (const double b : {50.0, 200.0, 800.0}) {
+    const auto m = rate.evaluate(b).critical_m;
+    EXPECT_GE(m, prev);
+    EXPECT_LT(m, 100000u);
+    prev = m;
+  }
+}

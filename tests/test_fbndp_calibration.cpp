@@ -1,0 +1,103 @@
+// Unit tests for FBNDP moment calibration -- pinned to Table 1 values.
+
+#include "cts/fit/fbndp_calibration.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cts/util/error.hpp"
+
+namespace cf = cts::fit;
+namespace cu = cts::util;
+
+TEST(FbndpTarget, Validation) {
+  cf::FbndpTarget t;
+  EXPECT_NO_THROW(t.validate());
+  t.variance = t.mean;  // not over-dispersed
+  EXPECT_THROW(t.validate(), cu::InvalidArgument);
+  t = cf::FbndpTarget{};
+  t.alpha = 0.0;
+  EXPECT_THROW(t.validate(), cu::InvalidArgument);
+  t = cf::FbndpTarget{};
+  t.M = 0;
+  EXPECT_THROW(t.validate(), cu::InvalidArgument);
+}
+
+TEST(ImpliedT0, MatchesTable1ZaRow) {
+  // Z^a FBNDP component: mu = 250, sigma^2 = 2500, alpha = 0.8 -> 2.57 ms.
+  cf::FbndpTarget t;
+  t.mean = 250.0;
+  t.variance = 2500.0;
+  t.alpha = 0.8;
+  t.Ts = 0.04;
+  EXPECT_NEAR(cf::implied_fractal_onset_time(t) * 1000.0, 2.57, 0.01);
+}
+
+TEST(ImpliedT0, MatchesTable1VvRow) {
+  // V^v FBNDP component: alpha = 0.9, dispersion ratio 10 -> 3.48 ms,
+  // independent of v (the paper's shared T0 for all three rows).
+  for (const double v : {0.67, 1.0, 1.5}) {
+    const double var_x = 5000.0 * v / (v + 1.0);
+    cf::FbndpTarget t;
+    t.mean = var_x / 10.0;
+    t.variance = var_x;
+    t.alpha = 0.9;
+    t.Ts = 0.04;
+    EXPECT_NEAR(cf::implied_fractal_onset_time(t) * 1000.0, 3.48, 0.01)
+        << "v=" << v;
+  }
+}
+
+TEST(ImpliedT0, MatchesTable1LRow) {
+  // L: mu = 500, sigma^2 = 5000, alpha ~ 0.72 -> T0 ~ 1.83-1.89 ms.
+  cf::FbndpTarget t;
+  t.mean = 500.0;
+  t.variance = 5000.0;
+  t.alpha = 0.72;
+  t.Ts = 0.04;
+  const double t0_ms = cf::implied_fractal_onset_time(t) * 1000.0;
+  EXPECT_NEAR(t0_ms, 1.83, 0.08);
+}
+
+TEST(CalibrateFbndp, RoundTripsMoments) {
+  cf::FbndpTarget t;
+  t.mean = 250.0;
+  t.variance = 2500.0;
+  t.alpha = 0.8;
+  t.M = 15;
+  t.Ts = 0.04;
+  const auto params = cf::calibrate_fbndp(t);
+  EXPECT_NEAR(params.frame_mean(), 250.0, 1e-6);
+  EXPECT_NEAR(params.frame_variance(), 2500.0, 1e-3);
+  EXPECT_NEAR(params.lambda(), 6250.0, 1e-6);
+  EXPECT_EQ(params.M, 15u);
+  // R = 2 lambda / M.
+  EXPECT_NEAR(params.R, 2.0 * 6250.0 / 15.0, 1e-9);
+  // T0 from the closed form equals the implied T0.
+  EXPECT_NEAR(params.fractal_onset_time(),
+              cf::implied_fractal_onset_time(t), 1e-9);
+}
+
+class CalibrationSweepTest
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(CalibrationSweepTest, RoundTripAcrossParameterSpace) {
+  const auto [alpha, dispersion, m] = GetParam();
+  cf::FbndpTarget t;
+  t.mean = 300.0;
+  t.variance = dispersion * t.mean;
+  t.alpha = alpha;
+  t.M = static_cast<std::uint32_t>(m);
+  t.Ts = 0.04;
+  const auto params = cf::calibrate_fbndp(t);
+  EXPECT_NEAR(params.frame_mean(), t.mean, 1e-6 * t.mean);
+  EXPECT_NEAR(params.frame_variance(), t.variance, 1e-6 * t.variance);
+  EXPECT_NEAR(params.hurst(), (alpha + 1.0) / 2.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, CalibrationSweepTest,
+    ::testing::Combine(::testing::Values(0.3, 0.5, 0.72, 0.8, 0.9),
+                       ::testing::Values(2.0, 5.0, 10.0, 20.0),
+                       ::testing::Values(5, 15, 30)));

@@ -1,0 +1,100 @@
+// Unit tests for GCRA policing and the dual leaky bucket.
+
+#include "cts/atm/gcra.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cts/util/error.hpp"
+
+namespace ca = cts::atm;
+namespace cu = cts::util;
+
+TEST(Gcra, ConformingStreamPasses) {
+  // Cells exactly at the contract rate conform with zero tolerance.
+  ca::Gcra gcra(1.0, 0.0);  // 1 cell/second
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(gcra.conforms(static_cast<double>(i))) << "cell " << i;
+  }
+}
+
+TEST(Gcra, TooFastStreamIsPoliced) {
+  // Cells at twice the rate: with zero tolerance, every second cell fails.
+  ca::Gcra gcra(1.0, 0.0);
+  int nonconforming = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (!gcra.conforms(0.5 * static_cast<double>(i))) ++nonconforming;
+  }
+  EXPECT_NEAR(nonconforming, 50, 2);
+}
+
+TEST(Gcra, ToleranceAdmitsJitter) {
+  // A stream at the contract rate but with +-0.3 s jitter: a LATE cell
+  // pushes TAT to its own arrival + T, so the next early cell sits 0.6 s
+  // ahead of schedule -- tau = 0.8 admits it, tau = 0.1 polices it.
+  ca::Gcra loose(1.0, 0.8);
+  ca::Gcra tight(1.0, 0.1);
+  int loose_fail = 0;
+  int tight_fail = 0;
+  for (int i = 0; i < 200; ++i) {
+    const double jitter = (i % 2 == 0) ? -0.3 : 0.3;
+    const double t = static_cast<double>(i) + jitter;
+    if (!loose.conforms(t)) ++loose_fail;
+    if (!tight.conforms(t)) ++tight_fail;
+  }
+  EXPECT_EQ(loose_fail, 0);
+  EXPECT_GT(tight_fail, 50);
+}
+
+TEST(Gcra, NonConformingCellsDoNotAdvanceState) {
+  ca::Gcra gcra(1.0, 0.0);
+  EXPECT_TRUE(gcra.conforms(0.0));
+  // A burst of early cells all fail without pushing TAT further out...
+  EXPECT_FALSE(gcra.conforms(0.1));
+  EXPECT_FALSE(gcra.conforms(0.2));
+  // ...so the next on-schedule cell still conforms.
+  EXPECT_TRUE(gcra.conforms(1.0));
+}
+
+TEST(Gcra, ResetRestoresInitialState) {
+  ca::Gcra gcra(10.0, 0.0);
+  EXPECT_TRUE(gcra.conforms(0.0));
+  EXPECT_FALSE(gcra.conforms(1.0));
+  gcra.reset();
+  EXPECT_TRUE(gcra.conforms(1.0));
+}
+
+TEST(Gcra, RejectsBadParameters) {
+  EXPECT_THROW(ca::Gcra(0.0, 1.0), cu::InvalidArgument);
+  EXPECT_THROW(ca::Gcra(1.0, -1.0), cu::InvalidArgument);
+}
+
+TEST(DualLeakyBucket, AdmitsContractBurstsOnly) {
+  // PCR 10 c/s, SCR 2 c/s, BT sized for MBS = 5 cells.
+  const double t_pcr = 0.1;
+  const double t_scr = 0.5;
+  const double bt = (5.0 - 1.0) * (t_scr - t_pcr);  // MBS = 5
+  ca::DualLeakyBucket bucket(10.0, 0.0, 2.0, bt);
+  EXPECT_NEAR(bucket.max_burst_size(), 5.0, 1e-9);
+
+  // A 5-cell burst at peak rate conforms...
+  int fails = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (!bucket.conforms(0.1 * static_cast<double>(i))) ++fails;
+  }
+  EXPECT_EQ(fails, 0);
+  // ...the 6th back-to-back cell does not.
+  EXPECT_FALSE(bucket.conforms(0.5));
+  // After idling one SCR period, service resumes.
+  EXPECT_TRUE(bucket.conforms(5.0));
+}
+
+TEST(DualLeakyBucket, PeakRateEnforcedIndependently) {
+  ca::DualLeakyBucket bucket(10.0, 0.0, 2.0, 10.0);
+  EXPECT_TRUE(bucket.conforms(0.0));
+  // Above PCR even with huge burst tolerance: policed.
+  EXPECT_FALSE(bucket.conforms(0.05));
+}
+
+TEST(DualLeakyBucket, RejectsPcrBelowScr) {
+  EXPECT_THROW(ca::DualLeakyBucket(1.0, 0.0, 2.0, 0.0), cu::InvalidArgument);
+}

@@ -1,0 +1,90 @@
+// Unit tests for the MPEG GoP modulation extension.
+
+#include "cts/proc/gop.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cts/proc/ar1.hpp"
+#include "cts/util/accumulator.hpp"
+#include "cts/util/error.hpp"
+
+namespace cp = cts::proc;
+namespace cu = cts::util;
+
+namespace {
+
+std::unique_ptr<cp::FrameSource> base(std::uint64_t seed) {
+  cp::Ar1Params p;
+  p.phi = 0.0;
+  p.mean = 500.0;
+  p.variance = 5000.0;
+  return std::make_unique<cp::Ar1Source>(p, seed);
+}
+
+}  // namespace
+
+TEST(GopPattern, Ibbpbb12NormalisedToUnitMean) {
+  const cp::GopPattern pattern = cp::GopPattern::ibbpbb12();
+  ASSERT_EQ(pattern.scales.size(), 12u);
+  double mean = 0.0;
+  for (const double s : pattern.scales) mean += s;
+  EXPECT_NEAR(mean / 12.0, 1.0, 1e-12);
+  // I frame is the largest.
+  for (std::size_t i = 1; i < 12; ++i) {
+    EXPECT_GE(pattern.scales[0], pattern.scales[i]);
+  }
+}
+
+TEST(GopPattern, RejectsBadScales) {
+  cp::GopPattern empty;
+  EXPECT_THROW(empty.validate(), cu::InvalidArgument);
+  cp::GopPattern negative{{1.0, -0.5}};
+  EXPECT_THROW(negative.validate(), cu::InvalidArgument);
+}
+
+TEST(GopModulatedSource, PreservesMeanRate) {
+  cp::GopModulatedSource source(base(3), cp::GopPattern::ibbpbb12());
+  cu::MomentAccumulator acc;
+  for (int i = 0; i < 240000; ++i) acc.add(source.next_frame());
+  EXPECT_NEAR(acc.mean(), 500.0, 4.0);
+  EXPECT_DOUBLE_EQ(source.mean(), 500.0);
+}
+
+TEST(GopModulatedSource, VarianceMatchesPhaseAveragedFormula) {
+  cp::GopModulatedSource source(base(7), cp::GopPattern::ibbpbb12());
+  cu::MomentAccumulator acc;
+  for (int i = 0; i < 480000; ++i) acc.add(source.next_frame());
+  EXPECT_NEAR(acc.variance(), source.variance(), 0.05 * source.variance());
+  // Modulation inflates variance beyond the base.
+  EXPECT_GT(source.variance(), 5000.0);
+}
+
+TEST(GopModulatedSource, PeriodicityVisibleInISpikes) {
+  cp::GopModulatedSource source(base(9), cp::GopPattern::ibbpbb12(), 0);
+  // Frame 0, 12, 24, ... are I frames (scale ~2.7x): their average must be
+  // far above the B frames'.
+  double i_sum = 0.0, b_sum = 0.0;
+  int i_n = 0, b_n = 0;
+  for (int t = 0; t < 12000; ++t) {
+    const double x = source.next_frame();
+    if (t % 12 == 0) {
+      i_sum += x;
+      ++i_n;
+    } else if (t % 12 == 1) {
+      b_sum += x;
+      ++b_n;
+    }
+  }
+  EXPECT_GT(i_sum / i_n, 2.0 * (b_sum / b_n));
+}
+
+TEST(GopModulatedSource, CloneKeepsPhase) {
+  cp::GopModulatedSource source(base(1), cp::GopPattern::ibbpbb12(), 5);
+  auto a = source.clone(321);
+  auto b = source.clone(321);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a->next_frame(), b->next_frame());
+  }
+}

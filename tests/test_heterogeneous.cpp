@@ -1,0 +1,111 @@
+// Unit tests for heterogeneous-population aggregation and B-R analysis.
+
+#include "cts/core/heterogeneous.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cts/fit/model_zoo.hpp"
+#include "cts/util/error.hpp"
+
+namespace cc = cts::core;
+namespace cf = cts::fit;
+namespace cu = cts::util;
+
+namespace {
+
+cc::PopulationClass cls(const cf::ModelSpec& spec, std::size_t count) {
+  cc::PopulationClass out;
+  out.acf = spec.acf;
+  out.mean = spec.mean;
+  out.variance = spec.variance;
+  out.count = count;
+  return out;
+}
+
+}  // namespace
+
+TEST(AggregatePopulation, MomentsAdd) {
+  const cf::ModelSpec z = cf::make_za(0.9);
+  const cf::ModelSpec dar = cf::make_dar_matched_to_za(0.975, 1);
+  const cc::AggregateModel agg =
+      cc::aggregate_population({cls(z, 10), cls(dar, 20)});
+  EXPECT_DOUBLE_EQ(agg.mean, 30 * 500.0);
+  EXPECT_DOUBLE_EQ(agg.variance, 30 * 5000.0);
+  EXPECT_DOUBLE_EQ(agg.acf->at(0), 1.0);
+  // Variance-weighted mixture: with equal per-source variances, weights are
+  // count-proportional.
+  const double expected_r1 =
+      (10.0 * z.acf->at(1) + 20.0 * dar.acf->at(1)) / 30.0;
+  EXPECT_NEAR(agg.acf->at(1), expected_r1, 1e-12);
+}
+
+TEST(AggregatePopulation, SkipsZeroCountAndValidates) {
+  const cf::ModelSpec z = cf::make_za(0.9);
+  const cc::AggregateModel agg =
+      cc::aggregate_population({cls(z, 5), cls(cf::make_l(), 0)});
+  EXPECT_DOUBLE_EQ(agg.mean, 5 * 500.0);
+  EXPECT_THROW(cc::aggregate_population({}), cu::InvalidArgument);
+  EXPECT_THROW(cc::aggregate_population({cls(z, 0)}), cu::InvalidArgument);
+}
+
+TEST(HeterogeneousBr, HomogeneousCaseMatchesPerSourceFormulation) {
+  // The aggregate formulation must reproduce the homogeneous B-R exactly
+  // (the rate function factorises: [Nb + m N(c-mu)]^2 / (2 N V) = N I).
+  const cf::ModelSpec z = cf::make_za(0.975);
+  const std::size_t n = 30;
+  const double c = 538.0;
+  const double b = 150.0;
+
+  cc::RateFunction per_source(z.acf, z.mean, z.variance, c);
+  const cc::BopPoint homogeneous = cc::br_log10_bop(per_source, b, n);
+
+  const cc::BopPoint aggregate = cc::heterogeneous_br_log10_bop(
+      {cls(z, n)}, c * static_cast<double>(n), b * static_cast<double>(n));
+
+  EXPECT_NEAR(aggregate.log10_bop, homogeneous.log10_bop, 1e-9);
+  EXPECT_EQ(aggregate.critical_m, homogeneous.critical_m);
+}
+
+TEST(HeterogeneousBr, MixLandsBetweenPureCases) {
+  // A 50/50 mix of weakly and strongly correlated sources must be bounded
+  // by the two pure populations.
+  const cf::ModelSpec weak = cf::make_dar_matched_to_za(0.7, 1);
+  const cf::ModelSpec strong = cf::make_dar_matched_to_za(0.99, 1);
+  const double capacity = 30 * 538.0;
+  const double buffer = 30 * 100.0;
+  const double pure_weak =
+      cc::heterogeneous_br_log10_bop({cls(weak, 30)}, capacity, buffer)
+          .log10_bop;
+  const double pure_strong =
+      cc::heterogeneous_br_log10_bop({cls(strong, 30)}, capacity, buffer)
+          .log10_bop;
+  const double mixed =
+      cc::heterogeneous_br_log10_bop({cls(weak, 15), cls(strong, 15)},
+                                     capacity, buffer)
+          .log10_bop;
+  EXPECT_LT(pure_weak, mixed);
+  EXPECT_LT(mixed, pure_strong);
+}
+
+TEST(HeterogeneousBr, RejectsUnstablePopulation) {
+  const cf::ModelSpec z = cf::make_za(0.9);
+  EXPECT_THROW(
+      cc::heterogeneous_br_log10_bop({cls(z, 30)}, 30 * 499.0, 1000.0),
+      cu::InvalidArgument);
+}
+
+TEST(HeterogeneousBr, AddingSourcesRaisesLoss) {
+  const cf::ModelSpec z = cf::make_za(0.9);
+  const double capacity = 40 * 520.0;
+  const double buffer = 4000.0;
+  double prev = -1e9;
+  for (const std::size_t n : {20u, 30u, 38u}) {
+    const double bop =
+        cc::heterogeneous_br_log10_bop({cls(z, n)}, capacity, buffer)
+            .log10_bop;
+    EXPECT_GT(bop, prev) << "n=" << n;
+    prev = bop;
+  }
+}

@@ -1,0 +1,96 @@
+// Unit tests for histogram and Kolmogorov-Smirnov normality check.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cts/stats/histogram.hpp"
+#include "cts/stats/ks.hpp"
+#include "cts/util/error.hpp"
+#include "cts/util/rng.hpp"
+
+namespace cs = cts::stats;
+namespace cu = cts::util;
+
+TEST(Histogram, BinningAndBounds) {
+  cs::Histogram hist(0.0, 10.0, 5);
+  hist.add(0.5);   // bin 0
+  hist.add(9.99);  // bin 4
+  hist.add(-1.0);  // underflow
+  hist.add(10.0);  // overflow (hi-exclusive)
+  EXPECT_EQ(hist.count(0), 1u);
+  EXPECT_EQ(hist.count(4), 1u);
+  EXPECT_EQ(hist.underflow(), 1u);
+  EXPECT_EQ(hist.overflow(), 1u);
+  EXPECT_EQ(hist.total(), 4u);
+  EXPECT_DOUBLE_EQ(hist.bin_low(1), 2.0);
+  EXPECT_DOUBLE_EQ(hist.bin_high(1), 4.0);
+}
+
+TEST(Histogram, DensityIntegratesToCoveredFraction) {
+  cs::Histogram hist(0.0, 1.0, 10);
+  cu::Xoshiro256pp rng(3);
+  for (int i = 0; i < 100000; ++i) hist.add(rng.uniform01());
+  double integral = 0.0;
+  for (std::size_t b = 0; b < hist.bin_count(); ++b) {
+    integral += hist.density(b) * (hist.bin_high(b) - hist.bin_low(b));
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(Histogram, RejectsBadConfig) {
+  EXPECT_THROW(cs::Histogram(1.0, 1.0, 5), cu::InvalidArgument);
+  EXPECT_THROW(cs::Histogram(0.0, 1.0, 0), cu::InvalidArgument);
+  cs::Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.count(5), std::out_of_range);
+  EXPECT_THROW(h.bin_low(5), cu::InvalidArgument);
+}
+
+TEST(Histogram, RenderProducesBars) {
+  cs::Histogram hist(0.0, 2.0, 2);
+  hist.add(0.5);
+  hist.add(0.6);
+  hist.add(1.5);
+  const std::string out = hist.render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(KolmogorovQ, KnownValues) {
+  EXPECT_DOUBLE_EQ(cs::kolmogorov_q(0.0), 1.0);
+  // Q(1.36) ~ 0.049 (the classic 5% critical value).
+  EXPECT_NEAR(cs::kolmogorov_q(1.36), 0.049, 0.002);
+  EXPECT_LT(cs::kolmogorov_q(2.0), 0.001);
+}
+
+TEST(KsTest, AcceptsTrueNormalSample) {
+  cu::Xoshiro256pp rng(41);
+  cu::NormalSampler normal;
+  std::vector<double> sample(20000);
+  for (auto& x : sample) x = 500.0 + std::sqrt(5000.0) * normal(rng);
+  const cs::KsResult result = cs::ks_test_normal(sample, 500.0, 5000.0);
+  EXPECT_GT(result.p_value, 0.01);
+  EXPECT_LT(result.statistic, 0.02);
+}
+
+TEST(KsTest, RejectsShiftedSample) {
+  cu::Xoshiro256pp rng(43);
+  cu::NormalSampler normal;
+  std::vector<double> sample(20000);
+  for (auto& x : sample) x = 520.0 + std::sqrt(5000.0) * normal(rng);
+  const cs::KsResult result = cs::ks_test_normal(sample, 500.0, 5000.0);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(KsTest, RejectsWrongVarianceSample) {
+  cu::Xoshiro256pp rng(47);
+  cu::NormalSampler normal;
+  std::vector<double> sample(20000);
+  for (auto& x : sample) x = 500.0 + std::sqrt(20000.0) * normal(rng);
+  const cs::KsResult result = cs::ks_test_normal(sample, 500.0, 5000.0);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(KsTest, RejectsDegenerateInput) {
+  EXPECT_THROW(cs::ks_test_normal({}, 0.0, 1.0), cu::InvalidArgument);
+  EXPECT_THROW(cs::ks_test_normal({1.0}, 0.0, 0.0), cu::InvalidArgument);
+}

@@ -1,0 +1,103 @@
+// Integration test: regenerate Table 1 of the paper from our fitting code
+// and compare against the published parameter values.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cts/fit/model_zoo.hpp"
+
+namespace cf = cts::fit;
+
+TEST(Table1, VvRows) {
+  // | v    | alpha | a        | lambda | T0 (ms) | M  |
+  // | 0.67 | 0.9   | ~0.8     | ~5000  | 3.48    | 15 |
+  // | 1    | 0.9   | 0.8      | 6250   | 3.48    | 15 |
+  // | 1.5  | 0.9   | ~0.8     | ~7500  | 3.48    | 15 |
+  struct Row {
+    double v;
+    double lambda;
+    double lambda_tol;
+  };
+  for (const Row row : {Row{0.67, 5000.0, 30.0}, Row{1.0, 6250.0, 1.0},
+                        Row{1.5, 7500.0, 10.0}}) {
+    const cf::MixtureReport r = cf::report_vv(row.v);
+    EXPECT_DOUBLE_EQ(r.alpha, 0.9) << "v=" << row.v;
+    EXPECT_NEAR(r.lambda, row.lambda, row.lambda_tol) << "v=" << row.v;
+    EXPECT_NEAR(r.t0_msec, 3.48, 0.01) << "v=" << row.v;
+    EXPECT_EQ(r.M, 15u) << "v=" << row.v;
+    EXPECT_NEAR(r.a, 0.8, 0.02) << "v=" << row.v;
+  }
+  // The anchor row is exact.
+  EXPECT_NEAR(cf::report_vv(1.0).a, 0.8, 1e-12);
+}
+
+TEST(Table1, ZaRow) {
+  // | Z^a | v=1 | alpha=0.8 | a in {0.7,...,0.99} | 6250 | 2.57 | 15 |
+  for (const double a : {0.7, 0.9, 0.975, 0.99}) {
+    const cf::MixtureReport r = cf::report_za(a);
+    EXPECT_DOUBLE_EQ(r.v, 1.0);
+    EXPECT_DOUBLE_EQ(r.alpha, 0.8);
+    EXPECT_DOUBLE_EQ(r.a, a);
+    EXPECT_NEAR(r.lambda, 6250.0, 1e-9);
+    EXPECT_NEAR(r.t0_msec, 2.57, 0.01);
+    EXPECT_EQ(r.M, 15u);
+  }
+}
+
+TEST(Table1, LRow) {
+  // | L | alpha ~ 0.72 | lambda = 12500 | T0 ~ 1.83 | M = 30 |
+  const cf::MixtureReport r = cf::report_l();
+  EXPECT_NEAR(r.alpha, 0.72, 0.04);
+  EXPECT_NEAR(r.lambda, 12500.0, 1e-9);
+  EXPECT_NEAR(r.t0_msec, 1.83, 0.25);
+  EXPECT_EQ(r.M, 30u);
+}
+
+// Note on column order: the Table-1 S block lists one column per Z^a case.
+// Matching the analytic lag-1 correlations (r_Z(1) = 0.683 for a = 0.7,
+// 0.821 for a = 0.975) identifies the columns unambiguously: the
+// rho = 0.68/0.72/0.73 column is Z^0.7 and the rho = 0.82/0.87/0.89 column
+// is Z^0.975.
+
+TEST(Table1, SRowsForZ07) {
+  // Z^0.7 -> DAR(1): rho=0.68; DAR(2): rho=0.72, a=(0.84,0.16);
+  //          DAR(3): rho=0.73, a=(0.82,0.10,0.08).
+  const cf::DarFit d1 = cf::report_dar_fit(0.7, 1);
+  EXPECT_NEAR(d1.rho, 0.68, 0.02);
+
+  const cf::DarFit d2 = cf::report_dar_fit(0.7, 2);
+  EXPECT_NEAR(d2.rho, 0.72, 0.02);
+  EXPECT_NEAR(d2.lag_probs[0], 0.84, 0.06);
+  EXPECT_NEAR(d2.lag_probs[1], 0.16, 0.06);
+
+  const cf::DarFit d3 = cf::report_dar_fit(0.7, 3);
+  EXPECT_NEAR(d3.rho, 0.73, 0.03);
+  EXPECT_NEAR(d3.lag_probs[0], 0.82, 0.08);
+}
+
+TEST(Table1, SRowsForZ0975) {
+  // Z^0.975 -> DAR(1): rho=0.82; DAR(2): rho=0.87, a=(0.70,0.3);
+  //            DAR(3): rho=0.89, a=(0.63,0.18,0.19).
+  const cf::DarFit d1 = cf::report_dar_fit(0.975, 1);
+  EXPECT_NEAR(d1.rho, 0.82, 0.02);
+
+  const cf::DarFit d2 = cf::report_dar_fit(0.975, 2);
+  EXPECT_NEAR(d2.rho, 0.87, 0.02);
+  EXPECT_NEAR(d2.lag_probs[0], 0.70, 0.06);
+  EXPECT_NEAR(d2.lag_probs[1], 0.30, 0.06);
+
+  const cf::DarFit d3 = cf::report_dar_fit(0.975, 3);
+  EXPECT_NEAR(d3.rho, 0.89, 0.02);
+  EXPECT_NEAR(d3.lag_probs[0], 0.63, 0.08);
+}
+
+TEST(Table1, AllFitsAreExactAtTheirOrder) {
+  for (const double a : {0.7, 0.975}) {
+    for (const std::size_t p : {std::size_t{1}, std::size_t{2},
+                                std::size_t{3}}) {
+      EXPECT_LT(cf::report_dar_fit(a, p).residual, 1e-9)
+          << "a=" << a << " p=" << p;
+    }
+  }
+}

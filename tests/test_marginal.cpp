@@ -1,0 +1,121 @@
+// Unit tests for pluggable marginal distributions (Section 6.1).
+
+#include "cts/proc/marginal.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cts/proc/dar.hpp"
+#include "cts/stats/acf.hpp"
+#include "cts/util/accumulator.hpp"
+#include "cts/util/error.hpp"
+
+namespace cp = cts::proc;
+namespace cs = cts::stats;
+namespace cu = cts::util;
+
+TEST(GammaSample, MomentsMatch) {
+  cu::Xoshiro256pp rng(5);
+  for (const auto& [shape, scale] : {std::pair{0.5, 2.0}, {2.0, 3.0},
+                                     {10.0, 0.5}}) {
+    cu::MomentAccumulator acc;
+    for (int i = 0; i < 200000; ++i) {
+      acc.add(cu::gamma_sample(rng, shape, scale));
+    }
+    EXPECT_NEAR(acc.mean(), shape * scale, 0.03 * shape * scale)
+        << "shape=" << shape;
+    EXPECT_NEAR(acc.variance(), shape * scale * scale,
+                0.06 * shape * scale * scale)
+        << "shape=" << shape;
+  }
+}
+
+TEST(GammaSample, RejectsBadParameters) {
+  cu::Xoshiro256pp rng(1);
+  EXPECT_THROW(cu::gamma_sample(rng, 0.0, 1.0), cu::InvalidArgument);
+  EXPECT_THROW(cu::gamma_sample(rng, 1.0, 0.0), cu::InvalidArgument);
+}
+
+TEST(GaussianMarginal, MomentsAndSamples) {
+  const cp::GaussianMarginal marginal(500.0, 5000.0);
+  EXPECT_DOUBLE_EQ(marginal.mean(), 500.0);
+  EXPECT_DOUBLE_EQ(marginal.variance(), 5000.0);
+  cu::Xoshiro256pp rng(7);
+  cu::MomentAccumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(marginal.sample(rng));
+  EXPECT_NEAR(acc.mean(), 500.0, 1.5);
+  EXPECT_NEAR(acc.variance(), 5000.0, 150.0);
+}
+
+TEST(NegativeBinomialMarginal, MomentsMatch) {
+  const cp::NegativeBinomialMarginal marginal(500.0, 5000.0);
+  // r = mean^2/(var - mean) = 250000/4500 ~ 55.6.
+  EXPECT_NEAR(marginal.shape(), 500.0 * 500.0 / 4500.0, 1e-9);
+  cu::Xoshiro256pp rng(11);
+  cu::MomentAccumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(marginal.sample(rng));
+  EXPECT_NEAR(acc.mean(), 500.0, 2.0);
+  EXPECT_NEAR(acc.variance(), 5000.0, 200.0);
+}
+
+TEST(NegativeBinomialMarginal, HeavierUpperTailThanGaussian) {
+  // At matched moments the NB right tail dominates: count exceedances of
+  // mean + 4 sd.
+  const cp::GaussianMarginal gauss(500.0, 5000.0);
+  const cp::NegativeBinomialMarginal nb(500.0, 5000.0);
+  cu::Xoshiro256pp rng(13);
+  const double threshold = 500.0 + 4.0 * std::sqrt(5000.0);
+  int g_exceed = 0;
+  int nb_exceed = 0;
+  for (int i = 0; i < 400000; ++i) {
+    if (gauss.sample(rng) > threshold) ++g_exceed;
+    if (nb.sample(rng) > threshold) ++nb_exceed;
+  }
+  EXPECT_GT(nb_exceed, g_exceed);
+}
+
+TEST(NegativeBinomialMarginal, RejectsUnderdispersion) {
+  EXPECT_THROW(cp::NegativeBinomialMarginal(500.0, 400.0),
+               cu::InvalidArgument);
+  EXPECT_THROW(cp::NegativeBinomialMarginal(0.0, 10.0), cu::InvalidArgument);
+}
+
+TEST(DarWithNegBinomial, KeepsCorrelationStructure) {
+  // DAR's ACF is marginal-independent: the NB-marginal DAR(1) must show the
+  // same geometric ACF as the Gaussian one.
+  cp::DarParams params;
+  params.rho = 0.8;
+  params.lag_probs = {1.0};
+  params.mean = 500.0;
+  params.variance = 5000.0;
+  auto marginal =
+      std::make_shared<cp::NegativeBinomialMarginal>(500.0, 5000.0);
+  cp::DarSource source(params, marginal, 17);
+  EXPECT_DOUBLE_EQ(source.mean(), 500.0);
+  EXPECT_DOUBLE_EQ(source.variance(), 5000.0);
+  EXPECT_NE(source.name().find("negbinom"), std::string::npos);
+
+  std::vector<double> trace(200000);
+  for (auto& x : trace) x = source.next_frame();
+  const std::vector<double> r = cs::autocorrelation(trace, 5);
+  for (std::size_t k = 1; k <= 5; ++k) {
+    EXPECT_NEAR(r[k], std::pow(0.8, static_cast<double>(k)), 0.02)
+        << "lag " << k;
+  }
+}
+
+TEST(DarWithNegBinomial, CloneKeepsMarginal) {
+  cp::DarParams params;
+  params.rho = 0.5;
+  params.lag_probs = {1.0};
+  auto marginal =
+      std::make_shared<cp::NegativeBinomialMarginal>(500.0, 5000.0);
+  cp::DarSource source(params, marginal, 1);
+  auto a = source.clone(23);
+  auto b = source.clone(23);
+  EXPECT_DOUBLE_EQ(a->mean(), 500.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a->next_frame(), b->next_frame());
+  }
+}

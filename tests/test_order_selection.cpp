@@ -1,0 +1,73 @@
+// Unit tests for automatic DAR order selection.
+
+#include "cts/fit/order_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cts/fit/model_zoo.hpp"
+#include "cts/util/error.hpp"
+
+namespace cf = cts::fit;
+namespace cu = cts::util;
+
+namespace {
+
+cf::OrderSelectionProblem problem(double buffer_per_source) {
+  cf::OrderSelectionProblem p;
+  p.mean = 500.0;
+  p.variance = 5000.0;
+  p.bandwidth = 538.0;
+  p.buffer_per_source = buffer_per_source;
+  p.n_sources = 30;
+  return p;
+}
+
+}  // namespace
+
+TEST(OrderSelection, GeometricTargetNeedsOrderOne) {
+  // A geometric ACF IS a DAR(1): order 1 must suffice at any buffer.
+  const cts::core::GeometricAcf target(0.8);
+  const cf::OrderSelection sel = cf::select_dar_order(target, problem(100.0));
+  EXPECT_EQ(sel.order, 1u);
+  EXPECT_NEAR(sel.log10_bop, sel.target_log10_bop, 0.05);
+}
+
+TEST(OrderSelection, ZeroBufferNeedsOrderOne) {
+  // m*_0 = 1: correlations are irrelevant, any order works.
+  const cf::ModelSpec z = cf::make_za(0.975);
+  const cf::OrderSelection sel = cf::select_dar_order(*z.acf, problem(0.0));
+  EXPECT_EQ(sel.order, 1u);
+}
+
+TEST(OrderSelection, RequiredOrderGrowsWithBuffer) {
+  // The paper's closing point, made constructive: bigger buffers resolve
+  // more correlation lags, so the needed model order grows.
+  const cf::ModelSpec z = cf::make_za(0.975);
+  std::size_t prev = 0;
+  for (const double b : {0.0, 50.0, 200.0}) {
+    const cf::OrderSelection sel = cf::select_dar_order(*z.acf, problem(b));
+    EXPECT_GE(sel.order, prev) << "b=" << b;
+    prev = sel.order;
+  }
+  EXPECT_GE(prev, 2u);  // 200 cells/source resolves beyond lag 1
+}
+
+TEST(OrderSelection, SelectedOrderPredictionIsClose) {
+  const cf::ModelSpec z = cf::make_za(0.9);
+  const cf::OrderSelection sel = cf::select_dar_order(*z.acf, problem(80.0));
+  // The converged DAR prediction tracks the full-ACF prediction within a
+  // modest margin (the DAR tail differs from the LRD tail beyond p, but
+  // inside the CTS the first lags dominate).
+  EXPECT_LT(std::abs(sel.log10_bop - sel.target_log10_bop), 1.0);
+  EXPECT_EQ(sel.trace.size(), sel.order + 1);
+}
+
+TEST(OrderSelection, ValidatesProblem) {
+  const cts::core::GeometricAcf target(0.5);
+  cf::OrderSelectionProblem bad = problem(10.0);
+  bad.bandwidth = 400.0;
+  EXPECT_THROW(cf::select_dar_order(target, bad), cu::InvalidArgument);
+  bad = problem(10.0);
+  bad.max_order = 1;
+  EXPECT_THROW(cf::select_dar_order(target, bad), cu::InvalidArgument);
+}

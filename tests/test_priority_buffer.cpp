@@ -1,0 +1,186 @@
+// Unit tests for CLP-aware partial buffer sharing.
+
+#include "cts/atm/priority_buffer.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cts/fit/model_zoo.hpp"
+#include "cts/proc/ar1.hpp"
+#include "cts/util/error.hpp"
+
+namespace ca = cts::atm;
+namespace cf = cts::fit;
+namespace cp = cts::proc;
+namespace cu = cts::util;
+
+namespace {
+
+class ConstantSource final : public cp::FrameSource {
+ public:
+  explicit ConstantSource(double value) : value_(value) {}
+  double next_frame() override { return value_; }
+  double mean() const override { return value_; }
+  double variance() const override { return 0.0; }
+  std::unique_ptr<cp::FrameSource> clone(std::uint64_t) const override {
+    return std::make_unique<ConstantSource>(value_);
+  }
+  std::string name() const override { return "constant"; }
+
+ private:
+  double value_;
+};
+
+std::vector<std::unique_ptr<cp::FrameSource>> constant(double v) {
+  std::vector<std::unique_ptr<cp::FrameSource>> out;
+  out.push_back(std::make_unique<ConstantSource>(v));
+  return out;
+}
+
+std::vector<std::unique_ptr<cp::FrameSource>> stochastic(int n, double phi,
+                                                         std::uint64_t seed) {
+  cp::Ar1Params p;
+  p.phi = phi;
+  p.mean = 500.0;
+  p.variance = 5000.0;
+  std::vector<std::unique_ptr<cp::FrameSource>> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(std::make_unique<cp::Ar1Source>(
+        p, seed + static_cast<std::uint64_t>(i)));
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(PrioritySharing, ValidatesConfig) {
+  ca::PrioritySharingConfig config;
+  config.threshold_cells = config.buffer_cells + 1.0;
+  EXPECT_THROW(config.validate(), cu::InvalidArgument);
+  config = ca::PrioritySharingConfig{};
+  config.capacity_cells = 0.0;
+  EXPECT_THROW(config.validate(), cu::InvalidArgument);
+}
+
+TEST(PrioritySharing, UnderloadLosesNothing) {
+  auto high = constant(200.0);
+  auto low = constant(200.0);
+  ca::PrioritySharingConfig config;
+  config.frames = 1000;
+  config.warmup_frames = 0;
+  config.capacity_cells = 500.0;
+  config.buffer_cells = 100.0;
+  config.threshold_cells = 50.0;
+  const ca::PrioritySharingResult result =
+      ca::run_partial_buffer_sharing(high, low, config);
+  EXPECT_DOUBLE_EQ(result.high_lost, 0.0);
+  EXPECT_DOUBLE_EQ(result.low_lost, 0.0);
+  EXPECT_DOUBLE_EQ(result.high_arrived, 200.0 * 1000);
+}
+
+TEST(PrioritySharing, SteadyOverloadDropsLowFirst) {
+  // high 400 + low 300 into capacity 500: the 200 cells/frame excess must
+  // come out of the LOW class while high passes untouched.
+  auto high = constant(400.0);
+  auto low = constant(300.0);
+  ca::PrioritySharingConfig config;
+  config.frames = 1000;
+  config.warmup_frames = 10;
+  config.capacity_cells = 500.0;
+  config.buffer_cells = 200.0;
+  config.threshold_cells = 100.0;
+  const ca::PrioritySharingResult result =
+      ca::run_partial_buffer_sharing(high, low, config);
+  EXPECT_DOUBLE_EQ(result.high_lost, 0.0);
+  EXPECT_NEAR(result.low_clr(), 200.0 / 300.0, 0.01);
+}
+
+TEST(PrioritySharing, HighOverloadAloneLosesHigh) {
+  auto high = constant(700.0);
+  auto low = constant(0.0);
+  ca::PrioritySharingConfig config;
+  config.frames = 500;
+  config.warmup_frames = 10;
+  config.capacity_cells = 500.0;
+  config.buffer_cells = 100.0;
+  config.threshold_cells = 50.0;
+  const ca::PrioritySharingResult result =
+      ca::run_partial_buffer_sharing(high, low, config);
+  EXPECT_NEAR(result.high_clr(), 200.0 / 700.0, 0.01);
+}
+
+TEST(PrioritySharing, MatchesSingleClassRecursionWhenThresholdEqualsBuffer) {
+  // With S = B and all traffic in one class, the dynamics must equal the
+  // plain fluid recursion: cross-check losses against the closed pattern
+  // from test_fluid_mux (600/400 alternating, C=500, B=50 -> 50 lost per
+  // burst frame).
+  std::vector<std::unique_ptr<cp::FrameSource>> high;
+  class Alternator final : public cp::FrameSource {
+   public:
+    double next_frame() override {
+      flip_ = !flip_;
+      return flip_ ? 600.0 : 400.0;
+    }
+    double mean() const override { return 500.0; }
+    double variance() const override { return 10000.0; }
+    std::unique_ptr<cp::FrameSource> clone(std::uint64_t) const override {
+      return std::make_unique<Alternator>();
+    }
+    std::string name() const override { return "alternator"; }
+
+   private:
+    bool flip_ = false;
+  };
+  high.push_back(std::make_unique<Alternator>());
+  auto low = constant(0.0);
+  ca::PrioritySharingConfig config;
+  config.frames = 1000;
+  config.warmup_frames = 0;
+  config.capacity_cells = 500.0;
+  config.buffer_cells = 50.0;
+  config.threshold_cells = 50.0;
+  const ca::PrioritySharingResult result =
+      ca::run_partial_buffer_sharing(high, low, config);
+  EXPECT_NEAR(result.high_lost, 50.0 * 500, 100.0);
+}
+
+TEST(PrioritySharing, ThresholdTradesLowLossForHighProtection) {
+  // Lowering S strictly protects the high class at the low class's expense.
+  auto run_with_threshold = [&](double s) {
+    auto high = stochastic(10, 0.9, 100);
+    auto low = stochastic(10, 0.9, 900);
+    ca::PrioritySharingConfig config;
+    config.frames = 20000;
+    config.warmup_frames = 200;
+    config.capacity_cells = 20 * 515.0;
+    config.buffer_cells = 4000.0;
+    config.threshold_cells = s;
+    return ca::run_partial_buffer_sharing(high, low, config);
+  };
+  const ca::PrioritySharingResult tight = run_with_threshold(500.0);
+  const ca::PrioritySharingResult loose = run_with_threshold(4000.0);
+  EXPECT_LE(tight.high_clr(), loose.high_clr());
+  EXPECT_GE(tight.low_clr(), loose.low_clr());
+  // And with S = B both classes see (roughly) the shared-buffer loss.
+  EXPECT_GT(loose.low_clr(), 0.0);
+}
+
+TEST(PrioritySharing, ConservationPerClass) {
+  auto high = stochastic(5, 0.8, 42);
+  auto low = stochastic(5, 0.8, 77);
+  ca::PrioritySharingConfig config;
+  config.frames = 10000;
+  config.warmup_frames = 0;
+  config.capacity_cells = 10 * 505.0;
+  config.buffer_cells = 1000.0;
+  config.threshold_cells = 400.0;
+  const ca::PrioritySharingResult result =
+      ca::run_partial_buffer_sharing(high, low, config);
+  EXPECT_GE(result.high_lost, 0.0);
+  EXPECT_GE(result.low_lost, 0.0);
+  EXPECT_LE(result.high_lost, result.high_arrived);
+  EXPECT_LE(result.low_lost, result.low_arrived);
+  // Low class suffers more under the shared threshold.
+  EXPECT_GE(result.low_clr(), result.high_clr());
+}

@@ -1,0 +1,127 @@
+// Property tests for the Critical Time Scale over the paper's model grid.
+//
+// These encode the paper's three structural claims about m*_b (finite,
+// small at small buffers, non-decreasing in buffer) plus the headline
+// comparisons of Fig. 4 as parameterised sweeps.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cts/core/rate_function.hpp"
+#include "cts/fit/model_zoo.hpp"
+#include "cts/sim/curves.hpp"
+
+namespace cc = cts::core;
+namespace cf = cts::fit;
+namespace cm = cts::sim;
+
+namespace {
+
+/// Fig. 4 geometry: c = 526, mu = 500, N = 100.
+cm::MuxGeometry fig4_geometry() {
+  cm::MuxGeometry g;
+  g.n_sources = 100;
+  g.bandwidth_per_source = 526.0;
+  g.Ts = 0.04;
+  return g;
+}
+
+}  // namespace
+
+class CtsModelPropertyTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  cf::ModelSpec model() const {
+    const std::string name = GetParam();
+    if (name == "V^0.67") return cf::make_vv(0.67);
+    if (name == "V^1") return cf::make_vv(1.0);
+    if (name == "V^1.5") return cf::make_vv(1.5);
+    if (name == "Z^0.7") return cf::make_za(0.7);
+    if (name == "Z^0.9") return cf::make_za(0.9);
+    if (name == "Z^0.975") return cf::make_za(0.975);
+    if (name == "Z^0.99") return cf::make_za(0.99);
+    if (name == "L") return cf::make_l();
+    if (name == "DAR1") return cf::make_dar_matched_to_za(0.975, 1);
+    if (name == "DAR3") return cf::make_dar_matched_to_za(0.975, 3);
+    if (name == "white") return cf::make_white();
+    return cf::make_ar1(0.9);
+  }
+};
+
+TEST_P(CtsModelPropertyTest, CtsIsFiniteSmallAtSmallBufferAndMonotone) {
+  const cf::ModelSpec spec = model();
+  const cm::MuxGeometry g = fig4_geometry();
+  cc::RateFunction rate(spec.acf, spec.mean, spec.variance,
+                        g.bandwidth_per_source);
+  // m*_0 = 1 always.
+  EXPECT_EQ(rate.evaluate(0.0).critical_m, 1u) << spec.name;
+
+  std::size_t prev = 0;
+  for (const double ms : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 30.0}) {
+    const double b =
+        g.buffer_ms_to_cells(ms) / static_cast<double>(g.n_sources);
+    const auto m = rate.evaluate(b).critical_m;
+    // Finite and sane: far below the scan cap.
+    EXPECT_LT(m, 100000u) << spec.name << " at " << ms << " ms";
+    // Non-decreasing in buffer.
+    EXPECT_GE(m, prev) << spec.name << " at " << ms << " ms";
+    prev = m;
+  }
+
+  // Small buffer -> small CTS: at 0.5 ms the CTS is at most a few dozen
+  // frame lags even for the strongest correlations in the zoo.
+  const double b_small =
+      g.buffer_ms_to_cells(0.5) / static_cast<double>(g.n_sources);
+  EXPECT_LE(rate.evaluate(b_small).critical_m, 64u) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperModelGrid, CtsModelPropertyTest,
+                         ::testing::Values("V^0.67", "V^1", "V^1.5", "Z^0.7",
+                                           "Z^0.9", "Z^0.975", "Z^0.99", "L",
+                                           "DAR1", "DAR3", "white", "ar1"));
+
+TEST(CtsComparisons, VvFamilyHasNearlyIdenticalCts) {
+  // Fig. 4-a: the three V^v CTS curves almost coincide at small buffers.
+  const cm::MuxGeometry g = fig4_geometry();
+  const std::vector<double> grid = {0.5, 1.0, 2.0, 4.0};
+  const cm::AnalyticCurve a = cm::cts_curve(cf::make_vv(0.67), g, grid);
+  const cm::AnalyticCurve b = cm::cts_curve(cf::make_vv(1.5), g, grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const double ma = static_cast<double>(a.critical_m[i]);
+    const double mb = static_cast<double>(b.critical_m[i]);
+    EXPECT_LE(std::abs(ma - mb), 0.25 * std::max(ma, mb) + 2.0)
+        << "B = " << grid[i] << " ms";
+  }
+}
+
+TEST(CtsComparisons, ZaFamilySpreadsWithA) {
+  // Fig. 4-b: already at B = 2 ms the CTS difference across a is large
+  // (the paper quotes ~15 lags).
+  const cm::MuxGeometry g = fig4_geometry();
+  const std::vector<double> grid = {2.0};
+  const auto m_07 = cm::cts_curve(cf::make_za(0.7), g, grid).critical_m[0];
+  const auto m_99 = cm::cts_curve(cf::make_za(0.99), g, grid).critical_m[0];
+  EXPECT_GE(m_99, m_07 + 8);
+}
+
+TEST(CtsComparisons, StrongerShortTermCorrelationsLargerCts) {
+  const cm::MuxGeometry g = fig4_geometry();
+  const std::vector<double> grid = {4.0};
+  std::size_t prev = 0;
+  for (const double a : {0.7, 0.9, 0.975, 0.99}) {
+    const auto m = cm::cts_curve(cf::make_za(a), g, grid).critical_m[0];
+    EXPECT_GE(m, prev) << "a=" << a;
+    prev = m;
+  }
+}
+
+TEST(CtsComparisons, PracticalBufferCtsIsTinyVsLrdOnset) {
+  // Section 6.2's closing argument: at a practical buffer (~1 frame of
+  // delay) the CTS is tens of lags, while LRD behaviour lives at hundreds+.
+  const cm::MuxGeometry g = fig4_geometry();
+  const double b =
+      g.buffer_ms_to_cells(30.0) / static_cast<double>(g.n_sources);
+  const cf::ModelSpec z = cf::make_za(0.9);
+  cc::RateFunction rate(z.acf, z.mean, z.variance, g.bandwidth_per_source);
+  EXPECT_LT(rate.evaluate(b).critical_m, 400u);
+}

@@ -1,0 +1,72 @@
+// Unit tests for the Gaussian-to-cells quantizer.
+
+#include "cts/proc/gaussian_quantizer.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cts/proc/ar1.hpp"
+#include "cts/util/error.hpp"
+
+namespace cp = cts::proc;
+namespace cu = cts::util;
+
+namespace {
+
+std::unique_ptr<cp::FrameSource> gaussian(double mean, double variance,
+                                          std::uint64_t seed) {
+  cp::Ar1Params p;
+  p.phi = 0.0;  // i.i.d. Gaussian
+  p.mean = mean;
+  p.variance = variance;
+  return std::make_unique<cp::Ar1Source>(p, seed);
+}
+
+}  // namespace
+
+TEST(GaussianQuantizer, OutputsAreNonNegativeIntegers) {
+  cp::GaussianQuantizer q(gaussian(500.0, 5000.0, 3));
+  for (int i = 0; i < 10000; ++i) {
+    const double x = q.next_frame();
+    ASSERT_GE(x, 0.0);
+    ASSERT_DOUBLE_EQ(x, std::round(x));
+  }
+}
+
+TEST(GaussianQuantizer, PaperMarginalAlmostNeverClamps) {
+  cp::GaussianQuantizer q(gaussian(500.0, 5000.0, 5));
+  // mu/sigma ~ 7.07: clamp probability ~ 7.8e-13.
+  EXPECT_LT(q.clamp_probability(), 1e-11);
+  for (int i = 0; i < 100000; ++i) q.next_frame();
+  EXPECT_EQ(q.clamp_count(), 0u);
+}
+
+TEST(GaussianQuantizer, LowMeanClampsOften) {
+  cp::GaussianQuantizer q(gaussian(0.0, 100.0, 7));
+  int frames = 20000;
+  for (int i = 0; i < frames; ++i) q.next_frame();
+  // Half of a zero-mean Gaussian is negative.
+  EXPECT_NEAR(static_cast<double>(q.clamp_count()) / frames, 0.5, 0.03);
+  EXPECT_NEAR(q.clamp_probability(), 0.5, 1e-12);
+}
+
+TEST(GaussianQuantizer, PreservesReportedMoments) {
+  cp::GaussianQuantizer q(gaussian(500.0, 5000.0, 1));
+  EXPECT_DOUBLE_EQ(q.mean(), 500.0);
+  EXPECT_DOUBLE_EQ(q.variance(), 5000.0);
+  EXPECT_NE(q.name().find("quantized"), std::string::npos);
+}
+
+TEST(GaussianQuantizer, RejectsNullInner) {
+  EXPECT_THROW(cp::GaussianQuantizer(nullptr), cu::InvalidArgument);
+}
+
+TEST(GaussianQuantizer, CloneDeterminism) {
+  cp::GaussianQuantizer q(gaussian(500.0, 5000.0, 1));
+  auto a = q.clone(11);
+  auto b = q.clone(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a->next_frame(), b->next_frame());
+  }
+}

@@ -1,0 +1,79 @@
+// Unit tests for deterministic smoothing and the link model.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cts/atm/link.hpp"
+#include "cts/atm/smoothing.hpp"
+#include "cts/util/error.hpp"
+
+namespace ca = cts::atm;
+namespace cu = cts::util;
+
+TEST(Smoothing, ScheduleIsEquispacedWithinFrame) {
+  const std::vector<double> times = ca::smoothing_schedule(4, 0.04);
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_DOUBLE_EQ(times[0], 0.005);
+  EXPECT_DOUBLE_EQ(times[1], 0.015);
+  EXPECT_DOUBLE_EQ(times[3], 0.035);
+  // Constant gap Ts/cells.
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_NEAR(times[i] - times[i - 1], 0.01, 1e-15);
+  }
+  // All within [0, Ts).
+  EXPECT_LT(times.back(), 0.04);
+}
+
+TEST(Smoothing, EmptyFrameHasEmptySchedule) {
+  EXPECT_TRUE(ca::smoothing_schedule(0, 0.04).empty());
+  EXPECT_DOUBLE_EQ(ca::smoothing_gap(0, 0.04), 0.0);
+}
+
+TEST(Smoothing, GapMatchesScheduleSpacing) {
+  EXPECT_DOUBLE_EQ(ca::smoothing_gap(500, 0.04), 0.04 / 500.0);
+  EXPECT_THROW(ca::smoothing_gap(1, 0.0), cu::InvalidArgument);
+}
+
+TEST(Smoothing, CellsForPayloadCeilingDivision) {
+  EXPECT_EQ(ca::cells_for_payload(0), 0u);
+  EXPECT_EQ(ca::cells_for_payload(1), 1u);
+  EXPECT_EQ(ca::cells_for_payload(48), 1u);
+  EXPECT_EQ(ca::cells_for_payload(49), 2u);
+  EXPECT_EQ(ca::cells_for_payload(480), 10u);
+}
+
+TEST(Link, Oc3CellRate) {
+  const ca::Link link(ca::kOc3PayloadBitsPerSecond);
+  // 149.76 Mb/s / (53*8 bits) ~ 353208 cells/s.
+  EXPECT_NEAR(link.cells_per_second(), 149.76e6 / 424.0, 1e-6);
+  EXPECT_NEAR(link.cells_per_frame(0.04), 149.76e6 / 424.0 * 0.04, 1e-6);
+}
+
+TEST(Link, BufferDelayRoundTrip) {
+  const ca::Link link(ca::kOc3PayloadBitsPerSecond);
+  for (const double ms : {1.0, 20.0, 30.0}) {
+    const double cells = link.buffer_cells_for_delay_ms(ms);
+    EXPECT_NEAR(link.buffer_delay_ms(cells), ms, 1e-9);
+  }
+}
+
+TEST(Link, PaperOperatingPointDelay) {
+  // The paper's multiplexer: C = 16140 cells / 40 ms = 403,500 cells/s.
+  // Back out the implied bit rate and check a 12105-cell buffer = 30 ms.
+  const double cells_per_second = 16140.0 / 0.04;
+  const ca::Link link(cells_per_second * 53 * 8);
+  EXPECT_NEAR(link.buffer_delay_ms(12105.0), 30.0, 1e-9);
+}
+
+TEST(Link, CellTimeIsInverseRate) {
+  const ca::Link link(424.0e6);  // 1M cells/s
+  EXPECT_NEAR(link.cell_time(), 1e-6, 1e-15);
+}
+
+TEST(Link, RejectsNonPositiveRate) {
+  EXPECT_THROW(ca::Link(0.0), cu::InvalidArgument);
+  const ca::Link link(ca::kOc3BitsPerSecond);
+  EXPECT_THROW(link.buffer_delay_ms(-1.0), cu::InvalidArgument);
+  EXPECT_THROW(link.cells_per_frame(0.0), cu::InvalidArgument);
+}

@@ -1,0 +1,82 @@
+// Unit tests for Student-t confidence machinery.
+
+#include "cts/util/student_t.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cts/util/error.hpp"
+#include "cts/util/math.hpp"
+
+namespace cu = cts::util;
+
+TEST(LogGamma, KnownValues) {
+  EXPECT_NEAR(cu::log_gamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(cu::log_gamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(cu::log_gamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(cu::log_gamma(0.5), std::log(std::sqrt(cu::kPi)), 1e-10);
+}
+
+TEST(LogGamma, RejectsNonPositive) {
+  EXPECT_THROW(cu::log_gamma(0.0), cu::InvalidArgument);
+  EXPECT_THROW(cu::log_gamma(-1.0), cu::InvalidArgument);
+}
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(cu::regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cu::regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, UniformCase) {
+  // I_x(1,1) = x.
+  for (const double x : {0.1, 0.3, 0.5, 0.9}) {
+    EXPECT_NEAR(cu::regularized_incomplete_beta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(IncompleteBeta, SymmetryRelation) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  const double v = cu::regularized_incomplete_beta(2.5, 4.0, 0.3);
+  const double w = cu::regularized_incomplete_beta(4.0, 2.5, 0.7);
+  EXPECT_NEAR(v, 1.0 - w, 1e-12);
+}
+
+TEST(StudentTCdf, SymmetricAroundZero) {
+  EXPECT_DOUBLE_EQ(cu::student_t_cdf(0.0, 5.0), 0.5);
+  EXPECT_NEAR(cu::student_t_cdf(1.3, 7.0) + cu::student_t_cdf(-1.3, 7.0),
+              1.0, 1e-12);
+}
+
+TEST(StudentTCdf, ApproachesNormalForLargeDof) {
+  for (const double t : {-2.0, -1.0, 0.5, 1.96}) {
+    EXPECT_NEAR(cu::student_t_cdf(t, 1e6), cu::normal_cdf(t), 1e-4);
+  }
+}
+
+TEST(StudentTCritical, MatchesStandardTables) {
+  // Two-sided 95% critical values.
+  EXPECT_NEAR(cu::student_t_critical(0.95, 1.0), 12.706, 0.01);
+  EXPECT_NEAR(cu::student_t_critical(0.95, 5.0), 2.571, 0.005);
+  EXPECT_NEAR(cu::student_t_critical(0.95, 10.0), 2.228, 0.005);
+  EXPECT_NEAR(cu::student_t_critical(0.95, 30.0), 2.042, 0.005);
+  // Two-sided 99%.
+  EXPECT_NEAR(cu::student_t_critical(0.99, 10.0), 3.169, 0.005);
+}
+
+TEST(StudentTCritical, RejectsBadInput) {
+  EXPECT_THROW(cu::student_t_critical(0.0, 5.0), cu::InvalidArgument);
+  EXPECT_THROW(cu::student_t_critical(1.0, 5.0), cu::InvalidArgument);
+  EXPECT_THROW(cu::student_t_critical(0.95, 0.0), cu::InvalidArgument);
+}
+
+TEST(ConfidenceHalfWidth, KnownCase) {
+  // n = 11, dof = 10, t* = 2.228: hw = 2.228 * s / sqrt(11).
+  const double hw = cu::confidence_half_width(2.0, 11, 0.95);
+  EXPECT_NEAR(hw, 2.228 * 2.0 / std::sqrt(11.0), 0.01);
+}
+
+TEST(ConfidenceHalfWidth, ZeroForTinySamples) {
+  EXPECT_DOUBLE_EQ(cu::confidence_half_width(5.0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(cu::confidence_half_width(5.0, 1), 0.0);
+}

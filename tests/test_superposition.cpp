@@ -1,0 +1,97 @@
+// Unit tests for the superposition source (and eq. 5 of the paper).
+
+#include "cts/proc/superposition.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cts/proc/ar1.hpp"
+#include "cts/proc/dar.hpp"
+#include "cts/stats/acf.hpp"
+#include "cts/util/accumulator.hpp"
+#include "cts/util/error.hpp"
+
+namespace cp = cts::proc;
+namespace cs = cts::stats;
+namespace cu = cts::util;
+
+namespace {
+
+std::unique_ptr<cp::FrameSource> ar1(double phi, double mean, double variance,
+                                     std::uint64_t seed) {
+  cp::Ar1Params p;
+  p.phi = phi;
+  p.mean = mean;
+  p.variance = variance;
+  return std::make_unique<cp::Ar1Source>(p, seed);
+}
+
+}  // namespace
+
+TEST(SuperposedSource, MomentsAdd) {
+  std::vector<std::unique_ptr<cp::FrameSource>> parts;
+  parts.push_back(ar1(0.5, 200.0, 2000.0, 1));
+  parts.push_back(ar1(0.9, 300.0, 3000.0, 2));
+  cp::SuperposedSource source(std::move(parts), "test");
+  EXPECT_DOUBLE_EQ(source.mean(), 500.0);
+  EXPECT_DOUBLE_EQ(source.variance(), 5000.0);
+  EXPECT_EQ(source.component_count(), 2u);
+}
+
+TEST(SuperposedSource, EmpiricalMomentsMatch) {
+  std::vector<std::unique_ptr<cp::FrameSource>> parts;
+  parts.push_back(ar1(0.3, 100.0, 1000.0, 5));
+  parts.push_back(ar1(0.6, 400.0, 4000.0, 6));
+  cp::SuperposedSource source(std::move(parts), "test");
+  cu::MomentAccumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(source.next_frame());
+  EXPECT_NEAR(acc.mean(), 500.0, 3.0);
+  EXPECT_NEAR(acc.variance(), 5000.0, 300.0);
+}
+
+TEST(SuperposedSource, AcfIsVarianceWeightedMixture) {
+  // Eq. (5): r(k) = [v1 rX(k) + v2 rY(k)] / (v1 + v2).
+  const double phi_x = 0.9;
+  const double phi_y = 0.2;
+  const double var_x = 3000.0;
+  const double var_y = 1000.0;
+  std::vector<std::unique_ptr<cp::FrameSource>> parts;
+  parts.push_back(ar1(phi_x, 0.0, var_x, 11));
+  parts.push_back(ar1(phi_y, 0.0, var_y, 12));
+  cp::SuperposedSource source(std::move(parts), "mix");
+  std::vector<double> trace(400000);
+  for (auto& x : trace) x = source.next_frame();
+  const std::vector<double> r = cs::autocorrelation(trace, 6);
+  for (std::size_t k = 1; k <= 6; ++k) {
+    const double expected =
+        (var_x * std::pow(phi_x, static_cast<double>(k)) +
+         var_y * std::pow(phi_y, static_cast<double>(k))) /
+        (var_x + var_y);
+    EXPECT_NEAR(r[k], expected, 0.02) << "lag " << k;
+  }
+}
+
+TEST(SuperposedSource, RejectsEmptyAndNull) {
+  std::vector<std::unique_ptr<cp::FrameSource>> empty;
+  EXPECT_THROW(cp::SuperposedSource(std::move(empty), "x"),
+               cu::InvalidArgument);
+  std::vector<std::unique_ptr<cp::FrameSource>> with_null;
+  with_null.push_back(nullptr);
+  EXPECT_THROW(cp::SuperposedSource(std::move(with_null), "x"),
+               cu::InvalidArgument);
+}
+
+TEST(SuperposedSource, CloneIsDeterministicAndDeep) {
+  std::vector<std::unique_ptr<cp::FrameSource>> parts;
+  parts.push_back(ar1(0.5, 100.0, 1000.0, 1));
+  parts.push_back(ar1(0.7, 200.0, 2000.0, 2));
+  cp::SuperposedSource source(std::move(parts), "orig");
+  auto a = source.clone(42);
+  auto b = source.clone(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a->next_frame(), b->next_frame());
+  }
+  EXPECT_EQ(a->name(), "orig");
+  EXPECT_DOUBLE_EQ(a->mean(), 300.0);
+}

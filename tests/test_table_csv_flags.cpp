@@ -1,0 +1,104 @@
+// Unit tests for table rendering, CSV output and flag parsing.
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "cts/util/csv.hpp"
+#include "cts/util/error.hpp"
+#include "cts/util/flags.hpp"
+#include "cts/util/table.hpp"
+
+namespace cu = cts::util;
+
+TEST(TextTable, RendersAlignedColumns) {
+  cu::TextTable table({"model", "clr"});
+  table.add_row({"Z^0.7", "1.2e-06"});
+  table.add_row({"DAR(1)", "3.4e-06"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("model"), std::string::npos);
+  EXPECT_NE(out.find("Z^0.7"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  cu::TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), cu::InvalidArgument);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(cu::TextTable({}), cu::InvalidArgument);
+}
+
+TEST(Formatting, FixedSciInt) {
+  EXPECT_EQ(cu::format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(cu::format_sci(0.00123, 2), "1.23e-03");
+  EXPECT_EQ(cu::format_int(-42), "-42");
+}
+
+TEST(CsvWriter, RendersAndEscapes) {
+  cu::CsvWriter csv({"name", "value"});
+  csv.add_row({"plain", "1"});
+  csv.add_row({"has,comma", "2"});
+  csv.add_row({"has\"quote", "3"});
+  const std::string out = csv.render();
+  EXPECT_NE(out.find("name,value\n"), std::string::npos);
+  EXPECT_NE(out.find("\"has,comma\",2"), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\",3"), std::string::npos);
+}
+
+TEST(CsvWriter, WritesFile) {
+  cu::CsvWriter csv({"x"});
+  csv.add_row({"1"});
+  const std::string path = ::testing::TempDir() + "/cts_test.csv";
+  EXPECT_TRUE(csv.write(path));
+}
+
+TEST(Flags, ParsesKeyEqualsValue) {
+  const char* argv[] = {"prog", "--frames=500", "--model=Z"};
+  cu::Flags flags(3, argv);
+  EXPECT_EQ(flags.get_int("frames", 0), 500);
+  EXPECT_EQ(flags.get_string("model", ""), "Z");
+}
+
+TEST(Flags, ParsesKeySpaceValueAndBooleans) {
+  const char* argv[] = {"prog", "--reps", "60", "--verbose", "--x=1.5"};
+  cu::Flags flags(5, argv);
+  EXPECT_EQ(flags.get_int("reps", 0), 60);
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(flags.get_double("x", 0.0), 1.5);
+}
+
+TEST(Flags, FallbacksForMissingKeys) {
+  const char* argv[] = {"prog"};
+  cu::Flags flags(1, argv);
+  EXPECT_EQ(flags.get_int("frames", 123), 123);
+  EXPECT_FALSE(flags.has("frames"));
+}
+
+TEST(Flags, RejectsMalformedValues) {
+  const char* argv[] = {"prog", "--frames=abc"};
+  cu::Flags flags(2, argv);
+  EXPECT_THROW(flags.get_int("frames", 0), cu::InvalidArgument);
+}
+
+TEST(EnvFlag, ParsesTruthyValues) {
+  ::setenv("CTS_TEST_ENV_FLAG", "1", 1);
+  EXPECT_TRUE(cu::env_flag("CTS_TEST_ENV_FLAG"));
+  ::setenv("CTS_TEST_ENV_FLAG", "yes", 1);
+  EXPECT_TRUE(cu::env_flag("CTS_TEST_ENV_FLAG"));
+  ::setenv("CTS_TEST_ENV_FLAG", "0", 1);
+  EXPECT_FALSE(cu::env_flag("CTS_TEST_ENV_FLAG"));
+  ::unsetenv("CTS_TEST_ENV_FLAG");
+  EXPECT_FALSE(cu::env_flag("CTS_TEST_ENV_FLAG"));
+}
+
+TEST(EnvInt, ParsesWithFallback) {
+  ::setenv("CTS_TEST_ENV_INT", "77", 1);
+  EXPECT_EQ(cu::env_int("CTS_TEST_ENV_INT", 5), 77);
+  ::setenv("CTS_TEST_ENV_INT", "junk", 1);
+  EXPECT_EQ(cu::env_int("CTS_TEST_ENV_INT", 5), 5);
+  ::unsetenv("CTS_TEST_ENV_INT");
+  EXPECT_EQ(cu::env_int("CTS_TEST_ENV_INT", 5), 5);
+}

@@ -1,0 +1,79 @@
+// Unit tests for the LRD tail fit (the construction of model L).
+
+#include "cts/fit/tail_fit.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cts/core/acf_model.hpp"
+#include "cts/util/error.hpp"
+#include "cts/util/math.hpp"
+
+namespace cf = cts::fit;
+namespace cc = cts::core;
+namespace cu = cts::util;
+
+TEST(TailFit, RecoversExactAlphaOnPureTarget) {
+  // Target IS an exact-LRD ACF with the same weight: the fit must recover
+  // alpha nearly exactly.
+  const double true_alpha = 0.8;
+  const double weight = 0.9;
+  const cc::ExactLrdAcf target((true_alpha + 1.0) / 2.0, weight);
+  const cf::TailFit fit = cf::fit_lrd_tail(
+      [&](std::size_t k) { return target.at(k); }, weight);
+  EXPECT_NEAR(fit.alpha, true_alpha, 1e-6);
+  EXPECT_LT(fit.objective, 1e-10);
+}
+
+TEST(TailFit, HalvedAmplitudeLowersAlpha) {
+  // The paper's situation: the target tail is v/(v+1) = 1/2 of a pure LRD
+  // ACF with alpha = 0.8, but the fit weight is pinned at 0.9.  The
+  // compromise alpha must come out clearly below 0.8 (paper: ~0.72).
+  const double weight = 0.9;
+  const cc::ExactLrdAcf component(0.9, weight);  // H = 0.9 <=> alpha = 0.8
+  const cf::TailFit fit = cf::fit_lrd_tail(
+      [&](std::size_t k) { return 0.5 * component.at(k); }, weight);
+  EXPECT_LT(fit.alpha, 0.78);
+  EXPECT_GT(fit.alpha, 0.6);
+  EXPECT_NEAR(fit.hurst, (fit.alpha + 1.0) / 2.0, 1e-12);
+}
+
+TEST(TailFit, FittedCurvePassesThroughTargetWindow) {
+  const double weight = 0.9;
+  const cc::ExactLrdAcf component(0.9, weight);
+  const auto target = [&](std::size_t k) { return 0.5 * component.at(k); };
+  const cf::TailFit fit = cf::fit_lrd_tail(target, weight, 100, 1000);
+  // Log-space residual at the window centre should be small (< 15%).
+  const double model =
+      weight * 0.5 * cu::second_central_difference_pow(300, fit.alpha + 1.0);
+  EXPECT_NEAR(std::log(model), std::log(target(300)), 0.15);
+}
+
+TEST(TailFit, RejectsBadArguments) {
+  const auto ok = [](std::size_t) { return 0.1; };
+  EXPECT_THROW(cf::fit_lrd_tail(ok, 0.0), cu::InvalidArgument);
+  EXPECT_THROW(cf::fit_lrd_tail(ok, 0.9, 0, 10), cu::InvalidArgument);
+  EXPECT_THROW(cf::fit_lrd_tail(ok, 0.9, 100, 100), cu::InvalidArgument);
+  EXPECT_THROW(cf::fit_lrd_tail(ok, 0.9, 100, 1000, 0.5, 0.4),
+               cu::InvalidArgument);
+}
+
+TEST(TailFit, RejectsNonPositiveTarget) {
+  const auto bad = [](std::size_t) { return -0.1; };
+  EXPECT_THROW(cf::fit_lrd_tail(bad, 0.9), cu::InvalidArgument);
+}
+
+class TailFitSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TailFitSweep, RecoversAlphaAcrossRange) {
+  const double alpha = GetParam();
+  const double weight = 0.85;
+  const cc::ExactLrdAcf target((alpha + 1.0) / 2.0, weight);
+  const cf::TailFit fit = cf::fit_lrd_tail(
+      [&](std::size_t k) { return target.at(k); }, weight, 50, 2000);
+  EXPECT_NEAR(fit.alpha, alpha, 1e-5) << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaGrid, TailFitSweep,
+                         ::testing::Values(0.3, 0.5, 0.72, 0.8, 0.9));

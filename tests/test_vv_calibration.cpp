@@ -1,0 +1,71 @@
+// Unit tests for the V^v first-lag pinning calibration.
+
+#include "cts/fit/vv_calibration.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cts/util/error.hpp"
+
+namespace cf = cts::fit;
+namespace cu = cts::util;
+
+TEST(FbndpFirstLag, ClosedForm) {
+  // r(1) = w (2^alpha - 1).
+  EXPECT_NEAR(cf::fbndp_first_lag(0.9, 0.9),
+              0.9 * (std::pow(2.0, 0.9) - 1.0), 1e-12);
+  EXPECT_NEAR(cf::fbndp_first_lag(1.0, 0.5), std::sqrt(2.0) - 1.0, 1e-12);
+}
+
+TEST(FbndpFirstLag, RejectsBadInput) {
+  EXPECT_THROW(cf::fbndp_first_lag(0.0, 0.5), cu::InvalidArgument);
+  EXPECT_THROW(cf::fbndp_first_lag(0.9, 1.0), cu::InvalidArgument);
+}
+
+TEST(CalibrateDar1, AnchorCaseIsIdentity) {
+  // For v = 1 and target = (rX1 + a)/2 the calibrated a equals the anchor.
+  const double rx1 = cf::fbndp_first_lag(0.9, 0.9);
+  const double anchor_a = 0.8;
+  const double target = 0.5 * rx1 + 0.5 * anchor_a;
+  EXPECT_NEAR(cf::calibrate_dar1_coefficient(1.0, rx1, target), anchor_a,
+              1e-12);
+}
+
+TEST(CalibrateDar1, PinsFirstLagAcrossV) {
+  const double rx1 = cf::fbndp_first_lag(0.9, 0.9);
+  const double target = 0.5 * rx1 + 0.5 * 0.8;
+  for (const double v : {0.5, 0.67, 1.0, 1.5, 2.0}) {
+    const double a = cf::calibrate_dar1_coefficient(v, rx1, target);
+    // Mixture first lag must equal the target exactly.
+    const double r1 = v / (v + 1.0) * rx1 + a / (v + 1.0);
+    EXPECT_NEAR(r1, target, 1e-12) << "v=" << v;
+    // And the coefficients stay near the anchor (the paper's a's are all
+    // within ~0.005 of 0.8).
+    EXPECT_NEAR(a, 0.8, 0.02) << "v=" << v;
+  }
+}
+
+TEST(CalibrateDar1, DirectionOfAdjustment) {
+  // rX1 < anchor: smaller v (more DAR weight) needs smaller a to hold the
+  // same mixture lag... actually: a = (v+1) r1* - v rX1 is increasing in v
+  // when r1* > rX1.  Verify the monotonicity.
+  const double rx1 = cf::fbndp_first_lag(0.9, 0.9);  // ~0.779
+  const double target = 0.5 * rx1 + 0.5 * 0.8;       // ~0.790 > rx1
+  const double a_low = cf::calibrate_dar1_coefficient(0.67, rx1, target);
+  const double a_mid = cf::calibrate_dar1_coefficient(1.0, rx1, target);
+  const double a_high = cf::calibrate_dar1_coefficient(1.5, rx1, target);
+  EXPECT_LT(a_low, a_mid);
+  EXPECT_LT(a_mid, a_high);
+}
+
+TEST(CalibrateDar1, RejectsInfeasiblePinning) {
+  // Target so high that a would exceed 1.
+  EXPECT_THROW(cf::calibrate_dar1_coefficient(3.0, 0.1, 0.9),
+               cu::InvalidArgument);
+  // Target so low that a would go negative.
+  EXPECT_THROW(cf::calibrate_dar1_coefficient(3.0, 0.9, 0.1),
+               cu::InvalidArgument);
+  EXPECT_THROW(cf::calibrate_dar1_coefficient(0.0, 0.5, 0.5),
+               cu::InvalidArgument);
+}

@@ -1,0 +1,98 @@
+// Unit tests for the local Whittle and wavelet Hurst estimators.
+
+#include <gtest/gtest.h>
+
+#include "cts/proc/fgn.hpp"
+#include "cts/stats/hurst.hpp"
+#include "cts/util/error.hpp"
+#include "cts/util/rng.hpp"
+
+namespace cp = cts::proc;
+namespace cs = cts::stats;
+namespace cu = cts::util;
+
+namespace {
+
+std::vector<double> white_noise(std::size_t n, std::uint64_t seed) {
+  cu::Xoshiro256pp rng(seed);
+  cu::NormalSampler normal;
+  std::vector<double> x(n);
+  for (auto& v : x) v = normal(rng);
+  return x;
+}
+
+std::vector<double> fgn_trace(double h, std::size_t n, std::uint64_t seed) {
+  cp::FgnParams p;
+  p.hurst = h;
+  p.mean = 0.0;
+  p.variance = 1.0;
+  cp::FgnDaviesHarte source(p, 1 << 14, seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = source.next_frame();
+  return x;
+}
+
+}  // namespace
+
+TEST(LocalWhittle, WhiteNoiseGivesHalf) {
+  const auto x = white_noise(1 << 14, 301);
+  const cs::HurstEstimate est = cs::hurst_local_whittle(x);
+  EXPECT_NEAR(est.hurst, 0.5, 0.06);
+  EXPECT_GT(est.points, 100u);
+}
+
+TEST(LocalWhittle, RecoversFgnHurst) {
+  for (const double h : {0.7, 0.85}) {
+    const auto x = fgn_trace(h, 1 << 15,
+                             static_cast<std::uint64_t>(1000 * h));
+    const cs::HurstEstimate est = cs::hurst_local_whittle(x);
+    EXPECT_NEAR(est.hurst, h, 0.06) << "H=" << h;
+  }
+}
+
+TEST(LocalWhittle, RejectsBadArguments) {
+  EXPECT_THROW(cs::hurst_local_whittle(white_noise(64, 1)),
+               cu::InvalidArgument);
+  EXPECT_THROW(cs::hurst_local_whittle(white_noise(1024, 1), 0.0),
+               cu::InvalidArgument);
+}
+
+TEST(Wavelet, WhiteNoiseGivesHalf) {
+  const auto x = white_noise(1 << 15, 303);
+  const cs::HurstEstimate est = cs::hurst_wavelet(x);
+  EXPECT_NEAR(est.hurst, 0.5, 0.08);
+  EXPECT_GE(est.points, 3u);
+}
+
+TEST(Wavelet, RecoversFgnHurst) {
+  const auto x = fgn_trace(0.8, 1 << 16, 77);
+  const cs::HurstEstimate est = cs::hurst_wavelet(x);
+  EXPECT_NEAR(est.hurst, 0.8, 0.08);
+  EXPECT_GT(est.r_squared, 0.9);
+}
+
+TEST(Wavelet, RejectsShortSeries) {
+  EXPECT_THROW(cs::hurst_wavelet(white_noise(64, 1)), cu::InvalidArgument);
+  EXPECT_THROW(cs::hurst_wavelet(white_noise(1024, 1), 0),
+               cu::InvalidArgument);
+}
+
+class EstimatorAgreementTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(EstimatorAgreementTest, AllFiveEstimatorsAgreeOnFgn) {
+  // The full estimator battery (the toolset of Beran et al.'s LRD analysis
+  // plus the modern semiparametric ones) must agree on synthetic FGN.
+  const double h = GetParam();
+  const auto x = fgn_trace(h, 1 << 16, static_cast<std::uint64_t>(h * 1e4));
+  EXPECT_NEAR(cs::hurst_variance_time(x).hurst, h, 0.09) << "vt";
+  EXPECT_NEAR(cs::hurst_gph(x).hurst, h, 0.13) << "gph";
+  EXPECT_NEAR(cs::hurst_local_whittle(x).hurst, h, 0.06) << "lw";
+  EXPECT_NEAR(cs::hurst_wavelet(x).hurst, h, 0.09) << "wav";
+  // R/S is biased but must point the same direction.
+  const double rs = cs::hurst_rescaled_range(x).hurst;
+  EXPECT_GT(rs, h - 0.15);
+  EXPECT_LT(rs, h + 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(HurstGrid, EstimatorAgreementTest,
+                         ::testing::Values(0.6, 0.75, 0.9));
