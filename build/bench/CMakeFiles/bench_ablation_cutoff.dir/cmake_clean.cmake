@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cutoff.dir/bench_ablation_cutoff.cpp.o"
+  "CMakeFiles/bench_ablation_cutoff.dir/bench_ablation_cutoff.cpp.o.d"
+  "bench_ablation_cutoff"
+  "bench_ablation_cutoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cutoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

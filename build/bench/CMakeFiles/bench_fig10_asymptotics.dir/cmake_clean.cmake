@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_asymptotics.dir/bench_fig10_asymptotics.cpp.o"
+  "CMakeFiles/bench_fig10_asymptotics.dir/bench_fig10_asymptotics.cpp.o.d"
+  "bench_fig10_asymptotics"
+  "bench_fig10_asymptotics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_asymptotics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

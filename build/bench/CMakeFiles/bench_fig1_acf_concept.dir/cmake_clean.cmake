@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_acf_concept.dir/bench_fig1_acf_concept.cpp.o"
+  "CMakeFiles/bench_fig1_acf_concept.dir/bench_fig1_acf_concept.cpp.o.d"
+  "bench_fig1_acf_concept"
+  "bench_fig1_acf_concept.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_acf_concept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_sample_paths.dir/bench_fig2_sample_paths.cpp.o"
+  "CMakeFiles/bench_fig2_sample_paths.dir/bench_fig2_sample_paths.cpp.o.d"
+  "bench_fig2_sample_paths"
+  "bench_fig2_sample_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_sample_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_acf.dir/bench_fig3_acf.cpp.o"
+  "CMakeFiles/bench_fig3_acf.dir/bench_fig3_acf.cpp.o.d"
+  "bench_fig3_acf"
+  "bench_fig3_acf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_acf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_cts.dir/bench_fig4_cts.cpp.o"
+  "CMakeFiles/bench_fig4_cts.dir/bench_fig4_cts.cpp.o.d"
+  "bench_fig4_cts"
+  "bench_fig4_cts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_cts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

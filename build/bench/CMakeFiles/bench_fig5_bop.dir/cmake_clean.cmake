@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_bop.dir/bench_fig5_bop.cpp.o"
+  "CMakeFiles/bench_fig5_bop.dir/bench_fig5_bop.cpp.o.d"
+  "bench_fig5_bop"
+  "bench_fig5_bop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_bop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_markov_efficacy.dir/bench_fig6_markov_efficacy.cpp.o"
+  "CMakeFiles/bench_fig6_markov_efficacy.dir/bench_fig6_markov_efficacy.cpp.o.d"
+  "bench_fig6_markov_efficacy"
+  "bench_fig6_markov_efficacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_markov_efficacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

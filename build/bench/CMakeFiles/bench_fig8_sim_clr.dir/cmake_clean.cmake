@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_sim_clr.dir/bench_fig8_sim_clr.cpp.o"
+  "CMakeFiles/bench_fig8_sim_clr.dir/bench_fig8_sim_clr.cpp.o.d"
+  "bench_fig8_sim_clr"
+  "bench_fig8_sim_clr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_sim_clr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_admission_control.dir/admission_control.cpp.o"
+  "CMakeFiles/example_admission_control.dir/admission_control.cpp.o.d"
+  "example_admission_control"
+  "example_admission_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_admission_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cts_explorer.dir/cts_explorer.cpp.o"
+  "CMakeFiles/example_cts_explorer.dir/cts_explorer.cpp.o.d"
+  "example_cts_explorer"
+  "example_cts_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cts_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_heterogeneous_mix.dir/heterogeneous_mix.cpp.o"
+  "CMakeFiles/example_heterogeneous_mix.dir/heterogeneous_mix.cpp.o.d"
+  "example_heterogeneous_mix"
+  "example_heterogeneous_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_heterogeneous_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_model_identification.dir/model_identification.cpp.o"
+  "CMakeFiles/example_model_identification.dir/model_identification.cpp.o.d"
+  "example_model_identification"
+  "example_model_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_model_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atm/aal5.cpp" "src/CMakeFiles/cts.dir/atm/aal5.cpp.o" "gcc" "src/CMakeFiles/cts.dir/atm/aal5.cpp.o.d"
+  "/root/repo/src/atm/cac.cpp" "src/CMakeFiles/cts.dir/atm/cac.cpp.o" "gcc" "src/CMakeFiles/cts.dir/atm/cac.cpp.o.d"
+  "/root/repo/src/atm/cell.cpp" "src/CMakeFiles/cts.dir/atm/cell.cpp.o" "gcc" "src/CMakeFiles/cts.dir/atm/cell.cpp.o.d"
+  "/root/repo/src/atm/gcra.cpp" "src/CMakeFiles/cts.dir/atm/gcra.cpp.o" "gcc" "src/CMakeFiles/cts.dir/atm/gcra.cpp.o.d"
+  "/root/repo/src/atm/link.cpp" "src/CMakeFiles/cts.dir/atm/link.cpp.o" "gcc" "src/CMakeFiles/cts.dir/atm/link.cpp.o.d"
+  "/root/repo/src/atm/priority_buffer.cpp" "src/CMakeFiles/cts.dir/atm/priority_buffer.cpp.o" "gcc" "src/CMakeFiles/cts.dir/atm/priority_buffer.cpp.o.d"
+  "/root/repo/src/atm/smoothing.cpp" "src/CMakeFiles/cts.dir/atm/smoothing.cpp.o" "gcc" "src/CMakeFiles/cts.dir/atm/smoothing.cpp.o.d"
+  "/root/repo/src/core/acf_model.cpp" "src/CMakeFiles/cts.dir/core/acf_model.cpp.o" "gcc" "src/CMakeFiles/cts.dir/core/acf_model.cpp.o.d"
+  "/root/repo/src/core/br_asymptotic.cpp" "src/CMakeFiles/cts.dir/core/br_asymptotic.cpp.o" "gcc" "src/CMakeFiles/cts.dir/core/br_asymptotic.cpp.o.d"
+  "/root/repo/src/core/effective_bandwidth.cpp" "src/CMakeFiles/cts.dir/core/effective_bandwidth.cpp.o" "gcc" "src/CMakeFiles/cts.dir/core/effective_bandwidth.cpp.o.d"
+  "/root/repo/src/core/heterogeneous.cpp" "src/CMakeFiles/cts.dir/core/heterogeneous.cpp.o" "gcc" "src/CMakeFiles/cts.dir/core/heterogeneous.cpp.o.d"
+  "/root/repo/src/core/large_n.cpp" "src/CMakeFiles/cts.dir/core/large_n.cpp.o" "gcc" "src/CMakeFiles/cts.dir/core/large_n.cpp.o.d"
+  "/root/repo/src/core/rate_function.cpp" "src/CMakeFiles/cts.dir/core/rate_function.cpp.o" "gcc" "src/CMakeFiles/cts.dir/core/rate_function.cpp.o.d"
+  "/root/repo/src/core/spectrum.cpp" "src/CMakeFiles/cts.dir/core/spectrum.cpp.o" "gcc" "src/CMakeFiles/cts.dir/core/spectrum.cpp.o.d"
+  "/root/repo/src/core/variance_growth.cpp" "src/CMakeFiles/cts.dir/core/variance_growth.cpp.o" "gcc" "src/CMakeFiles/cts.dir/core/variance_growth.cpp.o.d"
+  "/root/repo/src/core/weibull_lrd.cpp" "src/CMakeFiles/cts.dir/core/weibull_lrd.cpp.o" "gcc" "src/CMakeFiles/cts.dir/core/weibull_lrd.cpp.o.d"
+  "/root/repo/src/fit/dar_fit.cpp" "src/CMakeFiles/cts.dir/fit/dar_fit.cpp.o" "gcc" "src/CMakeFiles/cts.dir/fit/dar_fit.cpp.o.d"
+  "/root/repo/src/fit/fbndp_calibration.cpp" "src/CMakeFiles/cts.dir/fit/fbndp_calibration.cpp.o" "gcc" "src/CMakeFiles/cts.dir/fit/fbndp_calibration.cpp.o.d"
+  "/root/repo/src/fit/model_zoo.cpp" "src/CMakeFiles/cts.dir/fit/model_zoo.cpp.o" "gcc" "src/CMakeFiles/cts.dir/fit/model_zoo.cpp.o.d"
+  "/root/repo/src/fit/order_selection.cpp" "src/CMakeFiles/cts.dir/fit/order_selection.cpp.o" "gcc" "src/CMakeFiles/cts.dir/fit/order_selection.cpp.o.d"
+  "/root/repo/src/fit/tail_fit.cpp" "src/CMakeFiles/cts.dir/fit/tail_fit.cpp.o" "gcc" "src/CMakeFiles/cts.dir/fit/tail_fit.cpp.o.d"
+  "/root/repo/src/fit/vv_calibration.cpp" "src/CMakeFiles/cts.dir/fit/vv_calibration.cpp.o" "gcc" "src/CMakeFiles/cts.dir/fit/vv_calibration.cpp.o.d"
+  "/root/repo/src/proc/ar1.cpp" "src/CMakeFiles/cts.dir/proc/ar1.cpp.o" "gcc" "src/CMakeFiles/cts.dir/proc/ar1.cpp.o.d"
+  "/root/repo/src/proc/dar.cpp" "src/CMakeFiles/cts.dir/proc/dar.cpp.o" "gcc" "src/CMakeFiles/cts.dir/proc/dar.cpp.o.d"
+  "/root/repo/src/proc/fbn.cpp" "src/CMakeFiles/cts.dir/proc/fbn.cpp.o" "gcc" "src/CMakeFiles/cts.dir/proc/fbn.cpp.o.d"
+  "/root/repo/src/proc/fbndp.cpp" "src/CMakeFiles/cts.dir/proc/fbndp.cpp.o" "gcc" "src/CMakeFiles/cts.dir/proc/fbndp.cpp.o.d"
+  "/root/repo/src/proc/fgn.cpp" "src/CMakeFiles/cts.dir/proc/fgn.cpp.o" "gcc" "src/CMakeFiles/cts.dir/proc/fgn.cpp.o.d"
+  "/root/repo/src/proc/gaussian_acf_source.cpp" "src/CMakeFiles/cts.dir/proc/gaussian_acf_source.cpp.o" "gcc" "src/CMakeFiles/cts.dir/proc/gaussian_acf_source.cpp.o.d"
+  "/root/repo/src/proc/gaussian_quantizer.cpp" "src/CMakeFiles/cts.dir/proc/gaussian_quantizer.cpp.o" "gcc" "src/CMakeFiles/cts.dir/proc/gaussian_quantizer.cpp.o.d"
+  "/root/repo/src/proc/gop.cpp" "src/CMakeFiles/cts.dir/proc/gop.cpp.o" "gcc" "src/CMakeFiles/cts.dir/proc/gop.cpp.o.d"
+  "/root/repo/src/proc/marginal.cpp" "src/CMakeFiles/cts.dir/proc/marginal.cpp.o" "gcc" "src/CMakeFiles/cts.dir/proc/marginal.cpp.o.d"
+  "/root/repo/src/proc/mginf.cpp" "src/CMakeFiles/cts.dir/proc/mginf.cpp.o" "gcc" "src/CMakeFiles/cts.dir/proc/mginf.cpp.o.d"
+  "/root/repo/src/proc/on_off.cpp" "src/CMakeFiles/cts.dir/proc/on_off.cpp.o" "gcc" "src/CMakeFiles/cts.dir/proc/on_off.cpp.o.d"
+  "/root/repo/src/proc/superposition.cpp" "src/CMakeFiles/cts.dir/proc/superposition.cpp.o" "gcc" "src/CMakeFiles/cts.dir/proc/superposition.cpp.o.d"
+  "/root/repo/src/proc/trace.cpp" "src/CMakeFiles/cts.dir/proc/trace.cpp.o" "gcc" "src/CMakeFiles/cts.dir/proc/trace.cpp.o.d"
+  "/root/repo/src/sim/cell_mux.cpp" "src/CMakeFiles/cts.dir/sim/cell_mux.cpp.o" "gcc" "src/CMakeFiles/cts.dir/sim/cell_mux.cpp.o.d"
+  "/root/repo/src/sim/curves.cpp" "src/CMakeFiles/cts.dir/sim/curves.cpp.o" "gcc" "src/CMakeFiles/cts.dir/sim/curves.cpp.o.d"
+  "/root/repo/src/sim/fluid_mux.cpp" "src/CMakeFiles/cts.dir/sim/fluid_mux.cpp.o" "gcc" "src/CMakeFiles/cts.dir/sim/fluid_mux.cpp.o.d"
+  "/root/repo/src/sim/replication.cpp" "src/CMakeFiles/cts.dir/sim/replication.cpp.o" "gcc" "src/CMakeFiles/cts.dir/sim/replication.cpp.o.d"
+  "/root/repo/src/stats/acf.cpp" "src/CMakeFiles/cts.dir/stats/acf.cpp.o" "gcc" "src/CMakeFiles/cts.dir/stats/acf.cpp.o.d"
+  "/root/repo/src/stats/batch.cpp" "src/CMakeFiles/cts.dir/stats/batch.cpp.o" "gcc" "src/CMakeFiles/cts.dir/stats/batch.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/cts.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/cts.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/hurst.cpp" "src/CMakeFiles/cts.dir/stats/hurst.cpp.o" "gcc" "src/CMakeFiles/cts.dir/stats/hurst.cpp.o.d"
+  "/root/repo/src/stats/ks.cpp" "src/CMakeFiles/cts.dir/stats/ks.cpp.o" "gcc" "src/CMakeFiles/cts.dir/stats/ks.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/cts.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/cts.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/fft.cpp" "src/CMakeFiles/cts.dir/util/fft.cpp.o" "gcc" "src/CMakeFiles/cts.dir/util/fft.cpp.o.d"
+  "/root/repo/src/util/flags.cpp" "src/CMakeFiles/cts.dir/util/flags.cpp.o" "gcc" "src/CMakeFiles/cts.dir/util/flags.cpp.o.d"
+  "/root/repo/src/util/linalg.cpp" "src/CMakeFiles/cts.dir/util/linalg.cpp.o" "gcc" "src/CMakeFiles/cts.dir/util/linalg.cpp.o.d"
+  "/root/repo/src/util/math.cpp" "src/CMakeFiles/cts.dir/util/math.cpp.o" "gcc" "src/CMakeFiles/cts.dir/util/math.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/cts.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/cts.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/student_t.cpp" "src/CMakeFiles/cts.dir/util/student_t.cpp.o" "gcc" "src/CMakeFiles/cts.dir/util/student_t.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/cts.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/cts.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acf_stats.dir/test_acf_stats.cpp.o"
+  "CMakeFiles/test_acf_stats.dir/test_acf_stats.cpp.o.d"
+  "test_acf_stats"
+  "test_acf_stats.pdb"
+  "test_acf_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acf_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

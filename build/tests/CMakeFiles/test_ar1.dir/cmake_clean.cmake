@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ar1.dir/test_ar1.cpp.o"
+  "CMakeFiles/test_ar1.dir/test_ar1.cpp.o.d"
+  "test_ar1"
+  "test_ar1.pdb"
+  "test_ar1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ar1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atm_cell.dir/test_atm_cell.cpp.o"
+  "CMakeFiles/test_atm_cell.dir/test_atm_cell.cpp.o.d"
+  "test_atm_cell"
+  "test_atm_cell.pdb"
+  "test_atm_cell[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atm_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

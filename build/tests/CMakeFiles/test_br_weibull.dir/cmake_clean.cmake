@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_br_weibull.dir/test_br_weibull.cpp.o"
+  "CMakeFiles/test_br_weibull.dir/test_br_weibull.cpp.o.d"
+  "test_br_weibull"
+  "test_br_weibull.pdb"
+  "test_br_weibull[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_br_weibull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

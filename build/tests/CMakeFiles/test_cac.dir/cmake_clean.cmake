@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cac.dir/test_cac.cpp.o"
+  "CMakeFiles/test_cac.dir/test_cac.cpp.o.d"
+  "test_cac"
+  "test_cac.pdb"
+  "test_cac[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

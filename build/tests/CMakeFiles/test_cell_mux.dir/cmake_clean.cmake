@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell_mux.dir/test_cell_mux.cpp.o"
+  "CMakeFiles/test_cell_mux.dir/test_cell_mux.cpp.o.d"
+  "test_cell_mux"
+  "test_cell_mux.pdb"
+  "test_cell_mux[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell_mux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_curves.dir/test_curves.cpp.o"
+  "CMakeFiles/test_curves.dir/test_curves.cpp.o.d"
+  "test_curves"
+  "test_curves.pdb"
+  "test_curves[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

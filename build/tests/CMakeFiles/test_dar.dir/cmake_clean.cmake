@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dar.dir/test_dar.cpp.o"
+  "CMakeFiles/test_dar.dir/test_dar.cpp.o.d"
+  "test_dar"
+  "test_dar.pdb"
+  "test_dar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

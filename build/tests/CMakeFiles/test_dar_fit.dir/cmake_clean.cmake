@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dar_fit.dir/test_dar_fit.cpp.o"
+  "CMakeFiles/test_dar_fit.dir/test_dar_fit.cpp.o.d"
+  "test_dar_fit"
+  "test_dar_fit.pdb"
+  "test_dar_fit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dar_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_effective_bandwidth.dir/test_effective_bandwidth.cpp.o"
+  "CMakeFiles/test_effective_bandwidth.dir/test_effective_bandwidth.cpp.o.d"
+  "test_effective_bandwidth"
+  "test_effective_bandwidth.pdb"
+  "test_effective_bandwidth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_effective_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

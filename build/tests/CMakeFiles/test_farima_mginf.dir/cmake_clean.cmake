@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_farima_mginf.dir/test_farima_mginf.cpp.o"
+  "CMakeFiles/test_farima_mginf.dir/test_farima_mginf.cpp.o.d"
+  "test_farima_mginf"
+  "test_farima_mginf.pdb"
+  "test_farima_mginf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_farima_mginf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

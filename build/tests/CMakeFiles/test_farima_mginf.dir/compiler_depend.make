@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_farima_mginf.
+# This may be replaced when dependencies are built.

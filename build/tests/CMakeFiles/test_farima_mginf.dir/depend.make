@@ -1,0 +1,2 @@
+# Empty dependencies file for test_farima_mginf.
+# This may be replaced when dependencies are built.

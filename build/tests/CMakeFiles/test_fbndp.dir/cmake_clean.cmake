@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fbndp.dir/test_fbndp.cpp.o"
+  "CMakeFiles/test_fbndp.dir/test_fbndp.cpp.o.d"
+  "test_fbndp"
+  "test_fbndp.pdb"
+  "test_fbndp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fbndp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_fbndp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fbndp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fgn.dir/test_fgn.cpp.o"
+  "CMakeFiles/test_fgn.dir/test_fgn.cpp.o.d"
+  "test_fgn"
+  "test_fgn.pdb"
+  "test_fgn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fgn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

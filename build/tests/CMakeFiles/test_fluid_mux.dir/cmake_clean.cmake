@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fluid_mux.dir/test_fluid_mux.cpp.o"
+  "CMakeFiles/test_fluid_mux.dir/test_fluid_mux.cpp.o.d"
+  "test_fluid_mux"
+  "test_fluid_mux.pdb"
+  "test_fluid_mux[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fluid_mux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

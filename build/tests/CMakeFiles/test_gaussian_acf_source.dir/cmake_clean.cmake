@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gaussian_acf_source.dir/test_gaussian_acf_source.cpp.o"
+  "CMakeFiles/test_gaussian_acf_source.dir/test_gaussian_acf_source.cpp.o.d"
+  "test_gaussian_acf_source"
+  "test_gaussian_acf_source.pdb"
+  "test_gaussian_acf_source[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gaussian_acf_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

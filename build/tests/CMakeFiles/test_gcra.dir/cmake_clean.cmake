@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gcra.dir/test_gcra.cpp.o"
+  "CMakeFiles/test_gcra.dir/test_gcra.cpp.o.d"
+  "test_gcra"
+  "test_gcra.pdb"
+  "test_gcra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gcra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gop.dir/test_gop.cpp.o"
+  "CMakeFiles/test_gop.dir/test_gop.cpp.o.d"
+  "test_gop"
+  "test_gop.pdb"
+  "test_gop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_histogram_ks.dir/test_histogram_ks.cpp.o"
+  "CMakeFiles/test_histogram_ks.dir/test_histogram_ks.cpp.o.d"
+  "test_histogram_ks"
+  "test_histogram_ks.pdb"
+  "test_histogram_ks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_histogram_ks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

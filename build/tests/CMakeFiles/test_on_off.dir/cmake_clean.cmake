@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_on_off.dir/test_on_off.cpp.o"
+  "CMakeFiles/test_on_off.dir/test_on_off.cpp.o.d"
+  "test_on_off"
+  "test_on_off.pdb"
+  "test_on_off[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_on_off.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_order_selection.dir/test_order_selection.cpp.o"
+  "CMakeFiles/test_order_selection.dir/test_order_selection.cpp.o.d"
+  "test_order_selection"
+  "test_order_selection.pdb"
+  "test_order_selection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_order_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

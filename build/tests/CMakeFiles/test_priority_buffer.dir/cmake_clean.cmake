@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_priority_buffer.dir/test_priority_buffer.cpp.o"
+  "CMakeFiles/test_priority_buffer.dir/test_priority_buffer.cpp.o.d"
+  "test_priority_buffer"
+  "test_priority_buffer.pdb"
+  "test_priority_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_priority_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_fit.dir/test_properties_fit.cpp.o"
+  "CMakeFiles/test_properties_fit.dir/test_properties_fit.cpp.o.d"
+  "test_properties_fit"
+  "test_properties_fit.pdb"
+  "test_properties_fit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_queue.dir/test_properties_queue.cpp.o"
+  "CMakeFiles/test_properties_queue.dir/test_properties_queue.cpp.o.d"
+  "test_properties_queue"
+  "test_properties_queue.pdb"
+  "test_properties_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

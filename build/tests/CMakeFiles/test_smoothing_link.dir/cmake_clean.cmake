@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smoothing_link.dir/test_smoothing_link.cpp.o"
+  "CMakeFiles/test_smoothing_link.dir/test_smoothing_link.cpp.o.d"
+  "test_smoothing_link"
+  "test_smoothing_link.pdb"
+  "test_smoothing_link[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smoothing_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

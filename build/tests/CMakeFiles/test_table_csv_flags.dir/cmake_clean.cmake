@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_csv_flags.dir/test_table_csv_flags.cpp.o"
+  "CMakeFiles/test_table_csv_flags.dir/test_table_csv_flags.cpp.o.d"
+  "test_table_csv_flags"
+  "test_table_csv_flags.pdb"
+  "test_table_csv_flags[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_csv_flags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tail_fit.dir/test_tail_fit.cpp.o"
+  "CMakeFiles/test_tail_fit.dir/test_tail_fit.cpp.o.d"
+  "test_tail_fit"
+  "test_tail_fit.pdb"
+  "test_tail_fit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tail_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

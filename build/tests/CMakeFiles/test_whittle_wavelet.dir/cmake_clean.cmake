@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_whittle_wavelet.dir/test_whittle_wavelet.cpp.o"
+  "CMakeFiles/test_whittle_wavelet.dir/test_whittle_wavelet.cpp.o.d"
+  "test_whittle_wavelet"
+  "test_whittle_wavelet.pdb"
+  "test_whittle_wavelet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_whittle_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
