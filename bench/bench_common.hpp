@@ -7,14 +7,25 @@
 // paper's 60 x 500k-frame scale (REPRO_REPS / REPRO_FRAMES override
 // individually).
 
+// Observability (see the "Observability" section of README.md): every bench
+// accepts --trace=<path> (Chrome-trace span timeline), --metrics=<path>
+// (JSON run report: config echo + all registry metrics) and --quiet
+// (suppress the stderr progress line; CTS_QUIET=1 equivalent), via the
+// ObsGuard each main() constructs right after flag parsing.
+
 #pragma once
 
 #include <cmath>
 #include <cstdio>
+#include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cts/fit/model_zoo.hpp"
+#include "cts/obs/progress.hpp"
+#include "cts/obs/run_report.hpp"
+#include "cts/obs/trace.hpp"
 #include "cts/sim/curves.hpp"
 #include "cts/sim/replication.hpp"
 #include "cts/util/csv.hpp"
@@ -61,6 +72,84 @@ inline cts::sim::ReplicationConfig bench_scale() {
   config.frames_per_replication = 20000;
   config.warmup_frames = 1000;
   return cts::sim::apply_env_overrides(config);
+}
+
+/// Per-bench observability harness.  Construct one right after parsing
+/// Flags; it (a) warns about unrecognised --flags, (b) enables span
+/// recording when --trace was passed, (c) honours --quiet, and (d) on
+/// destruction writes the --metrics run report and the --trace file.
+class ObsGuard {
+ public:
+  ObsGuard(const cts::util::Flags& flags, std::string run_id,
+           std::vector<std::string> extra_known = {})
+      : flags_(flags), run_id_(std::move(run_id)) {
+    std::vector<std::string> known = {"csv", "trace", "metrics", "quiet"};
+    known.insert(known.end(), extra_known.begin(), extra_known.end());
+    flags_.warn_unknown(std::cerr, known);
+    if (flags_.get_bool("quiet", false)) cts::obs::force_quiet(true);
+    if (flags_.has("trace")) {
+      trace_path_ = flags_.get_string("trace", run_id_ + "_trace.json");
+      cts::obs::TraceRecorder::global().enable();
+    }
+    if (flags_.has("metrics")) {
+      metrics_path_ = flags_.get_string("metrics", run_id_ + "_metrics.json");
+    }
+  }
+
+  ~ObsGuard() {
+    try {
+      write_reports();
+    } catch (...) {
+      // Report writing must never turn a successful bench into a failure.
+    }
+  }
+
+  ObsGuard(const ObsGuard&) = delete;
+  ObsGuard& operator=(const ObsGuard&) = delete;
+
+ private:
+  void write_reports() const {
+    if (!metrics_path_.empty()) {
+      cts::obs::RunReport report;
+      report.set("run_id", run_id_);
+      report.set("repro_full", cts::util::env_flag("REPRO_FULL"));
+      const cts::sim::ReplicationConfig scale = bench_scale_echo();
+      report.set("replications", static_cast<std::uint64_t>(scale.replications));
+      report.set("frames_per_replication", scale.frames_per_replication);
+      report.set("warmup_frames", scale.warmup_frames);
+      report.set("master_seed", scale.master_seed);
+      report.set("hardware_concurrency",
+                 static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+      if (report.write(metrics_path_)) {
+        std::printf("[metrics written to %s]\n", metrics_path_.c_str());
+      } else {
+        std::printf("[warning: could not write metrics to %s]\n",
+                    metrics_path_.c_str());
+      }
+    }
+    if (!trace_path_.empty()) {
+      if (cts::obs::TraceRecorder::global().write(trace_path_)) {
+        std::printf("[trace written to %s (%zu spans)]\n", trace_path_.c_str(),
+                    cts::obs::TraceRecorder::global().event_count());
+      } else {
+        std::printf("[warning: could not write trace to %s]\n",
+                    trace_path_.c_str());
+      }
+    }
+  }
+
+  /// The env-resolved scale the simulation benches run at, echoed into the
+  /// report so two runs can be diffed for comparability first.
+  static cts::sim::ReplicationConfig bench_scale_echo();
+
+  const cts::util::Flags& flags_;
+  std::string run_id_;
+  std::string trace_path_;
+  std::string metrics_path_;
+};
+
+inline cts::sim::ReplicationConfig ObsGuard::bench_scale_echo() {
+  return bench_scale();
 }
 
 /// Prints the standard bench banner (figure id + scale note).

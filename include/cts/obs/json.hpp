@@ -1,0 +1,78 @@
+// Minimal JSON emission and validation for the observability exporters.
+//
+// The run-report (--metrics) and Chrome-trace (--trace) writers need
+// well-formed JSON without an external dependency.  JsonWriter tracks the
+// container stack and inserts commas/colons itself, so an exporter cannot
+// produce structurally invalid output; json_parse_check is a strict
+// recursive-descent validator used by the tests and the ctest smoke test
+// to confirm the emitted files actually parse.
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cts::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).  Control characters are emitted as \u00XX.
+std::string json_escape(const std::string& s);
+
+/// Streaming JSON writer with automatic comma/colon placement.
+///
+/// Usage:
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.key("counters").begin_object(); ... w.end_object();
+///   w.end_object();
+///
+/// Structural misuse (a value where a key is required, unbalanced
+/// begin/end) throws util::InvalidArgument via require().
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Writes an object key; the next call must produce its value.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);  ///< non-finite values are emitted as null
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Splices `json` — which must itself be one well-formed JSON value —
+  /// into the document as the next value.
+  JsonWriter& raw(const std::string& json);
+
+  /// True once the single top-level value is complete and balanced.
+  bool complete() const { return top_level_done_; }
+
+ private:
+  enum class Frame { kObject, kArray };
+
+  void before_value();
+
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_;     ///< parallel to stack_: no comma needed yet
+  bool pending_key_ = false;    ///< key() written, value expected
+  bool top_level_done_ = false;
+};
+
+/// Strictly validates that `text` is one complete JSON value (RFC 8259
+/// grammar, no trailing garbage).  Returns true on success; on failure
+/// returns false and, when `error` is non-null, stores a message with the
+/// byte offset of the problem.
+bool json_parse_check(const std::string& text, std::string* error = nullptr);
+
+}  // namespace cts::obs

@@ -1,0 +1,183 @@
+// Metrics registry: named counters, gauges, compensated sums and
+// fixed-bucket histograms for the simulation/bench pipeline.
+//
+// Design: the hot loops (per-frame queue recursion, per-frame generation)
+// never touch the registry.  Workers accumulate into plain local variables
+// or a MetricsShard (no locks, no atomics) and merge the shard into the
+// process-wide registry once per run/replication — the same
+// accumulate-then-reduce idiom as util::MomentAccumulator /
+// util::CompensatedSum, which back the histogram summary statistics and
+// the floating-point totals respectively.  Because counter merges are
+// integer additions and sum merges are order-insensitive to well below
+// measurement precision, registry contents are deterministic for any
+// thread count.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cts/util/accumulator.hpp"
+
+namespace cts::obs {
+
+/// How a gauge combines multiple writes (and shard merges).
+enum class GaugeMode {
+  kSet,  ///< last write wins (configuration echo: thread count, seed)
+  kMax,  ///< maximum over writes (peaks: queue depth, workload)
+};
+
+/// Gauge cell: a double with set/max combine semantics.
+struct GaugeCell {
+  double value = 0.0;
+  GaugeMode mode = GaugeMode::kSet;
+  bool written = false;
+
+  void update(double v) noexcept {
+    if (mode == GaugeMode::kMax && written) {
+      if (v > value) value = v;
+    } else {
+      value = v;
+    }
+    written = true;
+  }
+
+  void merge(const GaugeCell& other) noexcept {
+    if (!other.written) return;
+    mode = other.mode;
+    update(other.value);
+  }
+};
+
+/// Fixed-bucket histogram with Welford summary statistics.  Bucket i counts
+/// observations with value <= edges[i] (upper-inclusive, Prometheus "le"
+/// convention); one overflow bucket counts values above the last edge.
+class HistogramCell {
+ public:
+  HistogramCell() = default;
+  explicit HistogramCell(std::vector<double> edges);
+
+  void observe(double v) noexcept;
+
+  /// Merges another histogram; throws util::InvalidArgument when the
+  /// bucket edges differ.
+  void merge(const HistogramCell& other);
+
+  const std::vector<double>& edges() const noexcept { return edges_; }
+  const std::vector<std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+  const util::MomentAccumulator& stats() const noexcept { return stats_; }
+
+  /// Default bucket edges: a log ladder suited to wall-clock milliseconds
+  /// (0.1 ms .. 100 s).
+  static std::vector<double> default_edges();
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> buckets_;  ///< edges_.size() + 1 entries
+  util::MomentAccumulator stats_;
+};
+
+/// Lock-free (because thread-local) bundle of metrics, merged into a
+/// MetricsRegistry in one locked operation.
+class MetricsShard {
+ public:
+  /// Adds `delta` to counter `name`.
+  void add(const std::string& name, std::uint64_t delta = 1);
+
+  /// Adds `delta` to the Kahan-compensated sum `name` (floating totals
+  /// whose partial sums span many orders of magnitude: cells, losses).
+  void add_sum(const std::string& name, double delta);
+
+  /// Writes gauge `name` with the given combine mode.
+  void gauge(const std::string& name, double v, GaugeMode mode = GaugeMode::kSet);
+
+  /// Records `v` into histogram `name`; the histogram is created with
+  /// `edges` (or default_edges() when empty) on first observation.
+  void observe(const std::string& name, double v,
+               const std::vector<double>& edges = {});
+
+  /// Folds `other` into this shard.
+  void merge(const MetricsShard& other);
+
+  bool empty() const noexcept;
+
+  const std::map<std::string, std::uint64_t>& counters() const noexcept {
+    return counters_;
+  }
+  const std::map<std::string, util::CompensatedSum>& sums() const noexcept {
+    return sums_;
+  }
+  const std::map<std::string, GaugeCell>& gauges() const noexcept {
+    return gauges_;
+  }
+  const std::map<std::string, HistogramCell>& histograms() const noexcept {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, util::CompensatedSum> sums_;
+  std::map<std::string, GaugeCell> gauges_;
+  std::map<std::string, HistogramCell> histograms_;
+};
+
+/// Read-only copy of one histogram's state, for reporting.
+struct HistogramSnapshot {
+  std::vector<double> edges;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Thread-safe named-metric registry.  All mutating/reading entry points
+/// take an internal mutex; the intended high-rate path is shard merging,
+/// one lock per replication, not per-sample calls.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry.  Deliberately leaked so that objects flushing
+  /// metrics from destructors (e.g. frame sources) can never outlive it.
+  static MetricsRegistry& global();
+
+  void add(const std::string& name, std::uint64_t delta = 1);
+  void add_sum(const std::string& name, double delta);
+  void gauge(const std::string& name, double v, GaugeMode mode = GaugeMode::kSet);
+  void observe(const std::string& name, double v,
+               const std::vector<double>& edges = {});
+
+  /// Merges a worker shard under one lock.
+  void merge(const MetricsShard& shard);
+
+  std::uint64_t counter(const std::string& name) const;  ///< 0 when absent
+  double sum(const std::string& name) const;             ///< 0 when absent
+  double gauge_value(const std::string& name, double fallback = 0.0) const;
+  bool has_gauge(const std::string& name) const;
+
+  /// Copies histogram `name` into `out`; false when absent.
+  bool histogram(const std::string& name, HistogramSnapshot* out) const;
+
+  /// Emits the full registry as one JSON object:
+  ///   {"counters":{...},"sums":{...},"gauges":{...},"histograms":{...}}
+  void write_json(std::ostream& os) const;
+
+  /// Clears all metrics (tests; between independent bench phases).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  MetricsShard data_;
+};
+
+}  // namespace cts::obs

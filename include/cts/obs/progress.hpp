@@ -1,0 +1,100 @@
+// Throttled progress reporting for long replication runs.
+//
+// The replication thread pool ticks a ProgressReporter (frames simulated,
+// replications finished); the reporter redraws a single stderr status line
+//
+//   [fig8 Z^0.975] reps 3/12 | 2.1M frames | 1.23M f/s | ETA 0:42
+//
+// at most every `min_interval_sec`.  Reporting is automatically disabled
+// when stderr is not a TTY, when CTS_QUIET=1 is set, or when quiet mode is
+// forced programmatically (--quiet) — a REPRO_FULL=1 overnight run stays
+// observable without polluting redirected logs.
+//
+// Tick paths are wait-free (relaxed atomics); the render itself is
+// throttled by a CAS on the last-render timestamp so concurrent workers
+// never double-draw.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+#include <string>
+
+namespace cts::obs {
+
+/// Process-wide quiet override (set by --quiet); combined with the
+/// CTS_QUIET environment variable.
+void force_quiet(bool quiet) noexcept;
+
+/// True when progress output is suppressed (CTS_QUIET truthy or forced).
+bool quiet() noexcept;
+
+class ProgressReporter {
+ public:
+  struct Options {
+    std::string label = "run";
+    std::uint64_t total_units = 0;    ///< e.g. replications; 0 = unknown
+    std::uint64_t total_frames = 0;   ///< for ETA; 0 = unknown
+    double min_interval_sec = 0.25;   ///< minimum delay between redraws
+    bool force_enable = false;        ///< tests: render regardless of TTY
+    bool force_disable = false;       ///< callers opting out entirely
+    std::FILE* sink = nullptr;        ///< render target; nullptr = stderr
+  };
+
+  explicit ProgressReporter(Options options);
+  ~ProgressReporter();  ///< calls finish()
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  bool enabled() const noexcept { return enabled_; }
+
+  /// Adds simulated frames; may redraw (throttled).  Wait-free when no
+  /// redraw is due.
+  void add_frames(std::uint64_t n) noexcept;
+
+  /// Marks one work unit (replication) finished; may redraw.
+  void unit_done() noexcept;
+
+  /// Final redraw plus newline; idempotent.  Called by the destructor.
+  void finish() noexcept;
+
+  // -- introspection (tests) ------------------------------------------------
+  std::uint64_t frames() const noexcept {
+    return frames_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t units() const noexcept {
+    return units_.load(std::memory_order_relaxed);
+  }
+  /// Number of redraws so far.
+  std::uint64_t render_count() const noexcept {
+    return renders_.load(std::memory_order_relaxed);
+  }
+  /// The most recently rendered status line (without the leading \r).
+  std::string last_line() const;
+
+  static bool stderr_is_tty() noexcept;
+
+ private:
+  void maybe_render() noexcept;
+  void render() noexcept;
+
+  Options options_;
+  bool enabled_ = false;
+  std::int64_t start_ns_ = 0;
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> units_{0};
+  /// Sentinel "no render yet": the first tick always draws.
+  static constexpr std::int64_t kNeverRendered =
+      std::numeric_limits<std::int64_t>::min();
+  std::atomic<std::int64_t> last_render_ns_{kNeverRendered};
+  std::atomic<std::uint64_t> renders_{0};
+  mutable std::mutex render_mu_;
+  std::string last_line_;
+  bool finished_ = false;
+};
+
+}  // namespace cts::obs

@@ -54,6 +54,7 @@ class DarSource final : public FrameSource {
   DarSource(const DarParams& params,
             std::shared_ptr<const MarginalDistribution> marginal,
             std::uint64_t seed);
+  ~DarSource() override;  ///< flushes the frame count to the obs registry
 
   double next_frame() override;
   double mean() const override;
@@ -75,6 +76,7 @@ class DarSource final : public FrameSource {
   std::size_t head_ = 0;
   /// Cumulative lag-pick probabilities for inverse-CDF lag selection.
   std::vector<double> lag_cdf_;
+  std::uint64_t frames_generated_ = 0;
 };
 
 }  // namespace cts::proc

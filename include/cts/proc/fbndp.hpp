@@ -64,6 +64,7 @@ struct FbndpParams {
 class FbndpSource final : public FrameSource {
  public:
   FbndpSource(const FbndpParams& params, std::uint64_t seed);
+  ~FbndpSource() override;  ///< flushes the frame count to the obs registry
 
   double next_frame() override;
   double mean() const override { return params_.frame_mean(); }
@@ -77,6 +78,7 @@ class FbndpSource final : public FrameSource {
   FbndpParams params_;
   util::Xoshiro256pp rng_;
   FractalBinomialNoise fbn_;
+  std::uint64_t frames_generated_ = 0;
 };
 
 }  // namespace cts::proc

@@ -24,6 +24,10 @@
 
 #include "cts/proc/frame_source.hpp"
 
+namespace cts::obs {
+class ProgressReporter;
+}
+
 namespace cts::sim {
 
 /// Per-buffer-size tallies of one finite-buffer run.
@@ -56,6 +60,9 @@ struct FluidRunResult {
   double arrived_cells = 0.0;
   std::vector<ClrTally> clr;  ///< one entry per requested buffer size
   std::vector<BopTally> bop;  ///< one entry per requested threshold
+  /// Peak infinite-buffer workload over the measured frames (cells) —
+  /// observability only; it feeds the obs registry's queue-peak gauge.
+  double peak_workload_cells = 0.0;
 };
 
 /// Configuration of a fluid multiplexer run.
@@ -65,6 +72,8 @@ struct FluidRunConfig {
   double capacity_cells = 16140.0; ///< C, total cells/frame (= N * c)
   std::vector<double> buffer_sizes_cells;   ///< finite-buffer sizes to track
   std::vector<double> bop_thresholds_cells; ///< infinite-buffer thresholds
+  /// Optional progress sink, ticked every few thousand frames.  Not owned.
+  obs::ProgressReporter* progress = nullptr;
 };
 
 /// Fluid frame-level multiplexer over a set of homogeneous (or not)

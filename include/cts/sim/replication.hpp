@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "cts/fit/model_zoo.hpp"
@@ -29,6 +30,11 @@ struct ReplicationConfig {
   std::vector<double> bop_thresholds_cells;
   std::uint64_t master_seed = 0x5EEDC0DEULL;
   unsigned threads = 0;  ///< 0 = hardware concurrency
+  /// Label shown on the stderr progress line; empty = "sim".
+  std::string progress_label;
+  /// Progress reporting opt-out for library callers (the reporter itself
+  /// additionally disables when stderr is not a TTY or CTS_QUIET is set).
+  bool progress = true;
 };
 
 /// Aggregated outcome for one buffer size.

@@ -9,7 +9,9 @@
 
 #include <cstdint>
 #include <map>
+#include <ostream>
 #include <string>
+#include <vector>
 
 namespace cts::util {
 
@@ -27,6 +29,17 @@ class Flags {
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
   double get_double(const std::string& key, double fallback) const;
   bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Parsed --key tokens that are not in `known`, sorted.  A typo like
+  /// --frmes=500000 is otherwise silently ignored and the run proceeds at
+  /// default scale.
+  std::vector<std::string> unknown_keys(
+      const std::vector<std::string>& known) const;
+
+  /// Prints one warning line per unknown key to `os` (listing the known
+  /// flags once); returns the number of unknown keys.
+  std::size_t warn_unknown(std::ostream& os,
+                           const std::vector<std::string>& known) const;
 
  private:
   std::map<std::string, std::string> values_;

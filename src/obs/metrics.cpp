@@ -1,0 +1,209 @@
+#include "cts/obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "cts/obs/json.hpp"
+#include "cts/util/error.hpp"
+
+namespace cts::obs {
+
+// ---------------------------------------------------------------------------
+// HistogramCell
+
+HistogramCell::HistogramCell(std::vector<double> edges)
+    : edges_(std::move(edges)), buckets_(edges_.size() + 1, 0) {
+  util::require(!edges_.empty(), "HistogramCell: need at least one edge");
+  util::require(std::is_sorted(edges_.begin(), edges_.end()),
+                "HistogramCell: edges must be sorted ascending");
+}
+
+void HistogramCell::observe(double v) noexcept {
+  // Upper-inclusive buckets: first edge >= v; overflow bucket otherwise.
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+  ++buckets_[static_cast<std::size_t>(it - edges_.begin())];
+  stats_.add(v);
+}
+
+void HistogramCell::merge(const HistogramCell& other) {
+  if (other.stats_.count() == 0 && other.edges_.empty()) return;
+  if (edges_.empty()) {
+    *this = other;
+    return;
+  }
+  util::require(edges_ == other.edges_,
+                "HistogramCell: cannot merge histograms with different edges");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  stats_.merge(other.stats_);
+}
+
+std::vector<double> HistogramCell::default_edges() {
+  return {0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0,
+          1e3, 3e3, 1e4, 3e4, 1e5};
+}
+
+// ---------------------------------------------------------------------------
+// MetricsShard
+
+void MetricsShard::add(const std::string& name, std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+void MetricsShard::add_sum(const std::string& name, double delta) {
+  sums_[name].add(delta);
+}
+
+void MetricsShard::gauge(const std::string& name, double v, GaugeMode mode) {
+  GaugeCell& cell = gauges_[name];
+  cell.mode = mode;
+  cell.update(v);
+}
+
+void MetricsShard::observe(const std::string& name, double v,
+                           const std::vector<double>& edges) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, HistogramCell(edges.empty()
+                                              ? HistogramCell::default_edges()
+                                              : edges))
+             .first;
+  }
+  it->second.observe(v);
+}
+
+void MetricsShard::merge(const MetricsShard& other) {
+  for (const auto& [name, delta] : other.counters_) counters_[name] += delta;
+  for (const auto& [name, s] : other.sums_) sums_[name].merge(s);
+  for (const auto& [name, g] : other.gauges_) gauges_[name].merge(g);
+  for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
+}
+
+bool MetricsShard::empty() const noexcept {
+  return counters_.empty() && sums_.empty() && gauges_.empty() &&
+         histograms_.empty();
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+void MetricsRegistry::add(const std::string& name, std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  data_.add(name, delta);
+}
+
+void MetricsRegistry::add_sum(const std::string& name, double delta) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  data_.add_sum(name, delta);
+}
+
+void MetricsRegistry::gauge(const std::string& name, double v, GaugeMode mode) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  data_.gauge(name, v, mode);
+}
+
+void MetricsRegistry::observe(const std::string& name, double v,
+                              const std::vector<double>& edges) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  data_.observe(name, v, edges);
+}
+
+void MetricsRegistry::merge(const MetricsShard& shard) {
+  if (shard.empty()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  data_.merge(shard);
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = data_.counters().find(name);
+  return it == data_.counters().end() ? 0 : it->second;
+}
+
+double MetricsRegistry::sum(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = data_.sums().find(name);
+  return it == data_.sums().end() ? 0.0 : it->second.value();
+}
+
+double MetricsRegistry::gauge_value(const std::string& name,
+                                    double fallback) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = data_.gauges().find(name);
+  return it == data_.gauges().end() ? fallback : it->second.value;
+}
+
+bool MetricsRegistry::has_gauge(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return data_.gauges().count(name) > 0;
+}
+
+bool MetricsRegistry::histogram(const std::string& name,
+                                HistogramSnapshot* out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = data_.histograms().find(name);
+  if (it == data_.histograms().end()) return false;
+  if (out != nullptr) {
+    const HistogramCell& h = it->second;
+    out->edges = h.edges();
+    out->buckets = h.buckets();
+    out->count = h.stats().count();
+    out->mean = h.stats().mean();
+    out->stddev = h.stats().stddev();
+    out->min = h.stats().count() > 0 ? h.stats().min() : 0.0;
+    out->max = h.stats().count() > 0 ? h.stats().max() : 0.0;
+  }
+  return true;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w(os);
+  w.begin_object();
+
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : data_.counters()) w.key(name).value(v);
+  w.end_object();
+
+  w.key("sums").begin_object();
+  for (const auto& [name, s] : data_.sums()) w.key(name).value(s.value());
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : data_.gauges()) w.key(name).value(g.value);
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : data_.histograms()) {
+    w.key(name).begin_object();
+    const util::MomentAccumulator& st = h.stats();
+    w.key("count").value(st.count());
+    w.key("mean").value(st.count() > 0 ? st.mean() : 0.0);
+    w.key("stddev").value(st.stddev());
+    w.key("min").value(st.count() > 0 ? st.min() : 0.0);
+    w.key("max").value(st.count() > 0 ? st.max() : 0.0);
+    w.key("edges").begin_array();
+    for (const double e : h.edges()) w.value(e);
+    w.end_array();
+    w.key("buckets").begin_array();
+    for (const std::uint64_t b : h.buckets()) w.value(b);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  data_ = MetricsShard();
+}
+
+}  // namespace cts::obs

@@ -1,0 +1,171 @@
+#include "cts/obs/progress.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "cts/util/flags.hpp"
+
+namespace cts::obs {
+
+namespace {
+
+std::atomic<bool> g_force_quiet{false};
+
+std::int64_t steady_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// 1234567 -> "1.23M", 4321 -> "4.3k"; keeps the status line narrow.
+std::string human_count(double v) {
+  char buf[32];
+  if (v >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fG", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+  } else if (v >= 1e4) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  }
+  return buf;
+}
+
+std::string format_eta(double seconds) {
+  if (!std::isfinite(seconds) || seconds < 0.0) return "--:--";
+  const auto total = static_cast<std::int64_t>(seconds + 0.5);
+  char buf[32];
+  if (total >= 3600) {
+    std::snprintf(buf, sizeof(buf), "%lld:%02lld:%02lld",
+                  static_cast<long long>(total / 3600),
+                  static_cast<long long>((total / 60) % 60),
+                  static_cast<long long>(total % 60));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld:%02lld",
+                  static_cast<long long>(total / 60),
+                  static_cast<long long>(total % 60));
+  }
+  return buf;
+}
+
+}  // namespace
+
+void force_quiet(bool q) noexcept {
+  g_force_quiet.store(q, std::memory_order_relaxed);
+}
+
+bool quiet() noexcept {
+  if (g_force_quiet.load(std::memory_order_relaxed)) return true;
+  return util::env_flag("CTS_QUIET");
+}
+
+bool ProgressReporter::stderr_is_tty() noexcept {
+  return ::isatty(::fileno(stderr)) == 1;
+}
+
+ProgressReporter::ProgressReporter(Options options)
+    : options_(std::move(options)), start_ns_(steady_ns()) {
+  if (options_.sink == nullptr) options_.sink = stderr;
+  if (options_.force_disable) {
+    enabled_ = false;
+  } else if (options_.force_enable) {
+    enabled_ = true;
+  } else {
+    enabled_ = !quiet() && stderr_is_tty();
+  }
+}
+
+ProgressReporter::~ProgressReporter() { finish(); }
+
+void ProgressReporter::add_frames(std::uint64_t n) noexcept {
+  if (!enabled_) return;
+  frames_.fetch_add(n, std::memory_order_relaxed);
+  maybe_render();
+}
+
+void ProgressReporter::unit_done() noexcept {
+  if (!enabled_) return;
+  units_.fetch_add(1, std::memory_order_relaxed);
+  maybe_render();
+}
+
+void ProgressReporter::maybe_render() noexcept {
+  const std::int64_t now = steady_ns();
+  std::int64_t last = last_render_ns_.load(std::memory_order_relaxed);
+  const auto interval_ns =
+      static_cast<std::int64_t>(options_.min_interval_sec * 1e9);
+  // kNeverRendered guarantees the very first tick draws regardless of the
+  // steady clock's (arbitrary) epoch.
+  if (last != kNeverRendered && now - last < interval_ns) return;
+  // One worker wins the right to redraw; the rest skip.
+  if (!last_render_ns_.compare_exchange_strong(last, now,
+                                               std::memory_order_relaxed)) {
+    return;
+  }
+  render();
+}
+
+void ProgressReporter::render() noexcept {
+  try {
+    const std::uint64_t frames = frames_.load(std::memory_order_relaxed);
+    const std::uint64_t units = units_.load(std::memory_order_relaxed);
+    const double elapsed =
+        static_cast<double>(steady_ns() - start_ns_) / 1e9;
+    const double rate = elapsed > 0.0
+                            ? static_cast<double>(frames) / elapsed
+                            : 0.0;
+
+    std::string line = "[" + options_.label + "]";
+    if (options_.total_units > 0) {
+      line += " reps " + std::to_string(units) + "/" +
+              std::to_string(options_.total_units);
+    }
+    line += " | " + human_count(static_cast<double>(frames)) + " frames";
+    line += " | " + human_count(rate) + " f/s";
+    if (options_.total_frames > 0 && rate > 0.0 &&
+        frames < options_.total_frames) {
+      const double remaining =
+          static_cast<double>(options_.total_frames - frames) / rate;
+      line += " | ETA " + format_eta(remaining);
+    }
+
+    const std::lock_guard<std::mutex> lock(render_mu_);
+    if (finished_) return;
+    // Pad with spaces so a shorter redraw fully overwrites the previous one.
+    const std::size_t prev = last_line_.size();
+    std::string padded = line;
+    if (prev > padded.size()) padded.append(prev - padded.size(), ' ');
+    std::fprintf(options_.sink, "\r%s", padded.c_str());
+    std::fflush(options_.sink);
+    last_line_ = std::move(line);
+    renders_.fetch_add(1, std::memory_order_relaxed);
+  } catch (...) {
+    // Progress output must never take down a run.
+  }
+}
+
+void ProgressReporter::finish() noexcept {
+  if (!enabled_) return;
+  {
+    const std::lock_guard<std::mutex> lock(render_mu_);
+    if (finished_) return;
+  }
+  // Force one final redraw bypassing the throttle, then terminate the line.
+  render();
+  const std::lock_guard<std::mutex> lock(render_mu_);
+  if (finished_) return;
+  finished_ = true;
+  std::fprintf(options_.sink, "\n");
+  std::fflush(options_.sink);
+}
+
+std::string ProgressReporter::last_line() const {
+  const std::lock_guard<std::mutex> lock(render_mu_);
+  return last_line_;
+}
+
+}  // namespace cts::obs

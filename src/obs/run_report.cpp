@@ -1,0 +1,85 @@
+#include "cts/obs/run_report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "cts/obs/json.hpp"
+
+namespace cts::obs {
+
+RunReport::Entry& RunReport::upsert(const std::string& key) {
+  for (Entry& e : entries_) {
+    if (e.key == key) return e;
+  }
+  entries_.push_back(Entry{key, Kind::kString, "", 0, 0, 0.0, false});
+  return entries_.back();
+}
+
+void RunReport::set(const std::string& key, const std::string& value) {
+  Entry& e = upsert(key);
+  e.kind = Kind::kString;
+  e.s = value;
+}
+
+void RunReport::set(const std::string& key, const char* value) {
+  set(key, std::string(value));
+}
+
+void RunReport::set(const std::string& key, std::int64_t value) {
+  Entry& e = upsert(key);
+  e.kind = Kind::kInt;
+  e.i = value;
+}
+
+void RunReport::set(const std::string& key, std::uint64_t value) {
+  Entry& e = upsert(key);
+  e.kind = Kind::kUint;
+  e.u = value;
+}
+
+void RunReport::set(const std::string& key, double value) {
+  Entry& e = upsert(key);
+  e.kind = Kind::kDouble;
+  e.d = value;
+}
+
+void RunReport::set(const std::string& key, bool value) {
+  Entry& e = upsert(key);
+  e.kind = Kind::kBool;
+  e.b = value;
+}
+
+void RunReport::write_json(std::ostream& os,
+                           const MetricsRegistry& registry) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("config").begin_object();
+  for (const Entry& e : entries_) {
+    w.key(e.key);
+    switch (e.kind) {
+      case Kind::kString: w.value(e.s); break;
+      case Kind::kInt: w.value(e.i); break;
+      case Kind::kUint: w.value(e.u); break;
+      case Kind::kDouble: w.value(e.d); break;
+      case Kind::kBool: w.value(e.b); break;
+    }
+  }
+  w.end_object();
+  // The registry emits a complete JSON object; splice it in verbatim.
+  std::ostringstream metrics;
+  registry.write_json(metrics);
+  w.key("metrics").raw(metrics.str());
+  w.end_object();
+}
+
+bool RunReport::write(const std::string& path,
+                      const MetricsRegistry& registry) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out, registry);
+  out.put('\n');
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace cts::obs

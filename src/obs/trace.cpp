@@ -1,0 +1,117 @@
+#include "cts/obs/trace.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "cts/obs/json.hpp"
+
+namespace cts::obs {
+
+namespace {
+
+std::int64_t steady_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Small, stable per-thread ordinal for the Chrome "tid" field.
+int current_tid() noexcept {
+  static std::atomic<int> next{1};
+  thread_local const int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_ns_(steady_ns()) {}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* instance = new TraceRecorder();
+  return *instance;
+}
+
+std::int64_t TraceRecorder::now_us() const noexcept {
+  return (steady_ns() - epoch_ns_) / 1000;
+}
+
+void TraceRecorder::record(std::string name, std::int64_t ts_us,
+                           std::int64_t dur_us) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.tid = current_tid();
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::size_t TraceRecorder::event_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void TraceRecorder::write_json(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent& e : events_) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("cat").value("cts");
+    w.key("ph").value("X");
+    w.key("pid").value(std::int64_t{1});
+    w.key("tid").value(static_cast<std::int64_t>(e.tid));
+    w.key("ts").value(e.ts_us);
+    w.key("dur").value(e.dur_us);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+bool TraceRecorder::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+void TraceRecorder::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+ScopedSpan::ScopedSpan(std::string name) noexcept {
+  TraceRecorder& recorder = TraceRecorder::global();
+  if (!recorder.enabled()) return;  // disabled span: one relaxed load, no clock
+  try {
+    name_ = std::move(name);
+    start_us_ = recorder.now_us();
+  } catch (...) {
+    start_us_ = -1;  // allocation failure: drop the span, never throw
+  }
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (start_us_ < 0) return;
+  TraceRecorder& recorder = TraceRecorder::global();
+  if (!recorder.enabled()) return;  // disabled mid-span: drop it
+  try {
+    recorder.record(std::move(name_), start_us_,
+                    recorder.now_us() - start_us_);
+  } catch (...) {
+    // Tracing must never take down a run.
+  }
+}
+
+}  // namespace cts::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "cts/obs/metrics.hpp"
 #include "cts/util/error.hpp"
 
 namespace cts::proc {
@@ -95,7 +96,17 @@ double DarSource::variance() const {
   return marginal_ ? marginal_->variance() : params_.variance;
 }
 
+DarSource::~DarSource() {
+  if (frames_generated_ == 0) return;
+  try {
+    obs::MetricsRegistry::global().add("proc.dar.frames", frames_generated_);
+  } catch (...) {
+    // Metrics flushing must never throw from a destructor.
+  }
+}
+
 double DarSource::next_frame() {
+  ++frames_generated_;
   const std::size_t p = history_.size();
   double value;
   if (rng_.uniform01() < params_.rho) {
@@ -121,7 +132,10 @@ std::unique_ptr<FrameSource> DarSource::clone(std::uint64_t seed) const {
 
 std::string DarSource::name() const {
   std::string base = "DAR(" + std::to_string(params_.order()) + ")";
-  if (marginal_) base += "/" + marginal_->name();
+  if (marginal_) {
+    base += '/';
+    base += marginal_->name();
+  }
   return base;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "cts/obs/metrics.hpp"
 #include "cts/util/error.hpp"
 #include "cts/util/math.hpp"
 
@@ -48,7 +49,20 @@ FbndpSource::FbndpSource(const FbndpParams& params, std::uint64_t seed)
   params_.validate();
 }
 
+FbndpSource::~FbndpSource() {
+  // Sources live for exactly one replication, so this is one locked merge
+  // per (replication, source) — never on the per-frame path.
+  if (frames_generated_ == 0) return;
+  try {
+    obs::MetricsRegistry::global().add("proc.fbndp.frames",
+                                       frames_generated_);
+  } catch (...) {
+    // Metrics flushing must never throw from a destructor.
+  }
+}
+
 double FbndpSource::next_frame() {
+  ++frames_generated_;
   // Conditional on the rate path, arrivals in the frame window are Poisson
   // with mean R * (aggregate ON time of the M sources in the window).
   const double integrated_rate =

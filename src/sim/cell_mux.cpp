@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cts/obs/metrics.hpp"
+#include "cts/obs/trace.hpp"
 #include "cts/util/error.hpp"
 
 namespace cts::sim {
@@ -19,6 +21,7 @@ struct Arrival {
 CellRunResult CellMux::run(
     std::vector<std::unique_ptr<proc::FrameSource>>& sources,
     const CellRunConfig& config) {
+  CTS_TRACE_SPAN("cell_mux.run");
   util::require(!sources.empty(), "CellMux: need at least one source");
   util::require(config.capacity_cells > 0, "CellMux: capacity must be > 0");
 
@@ -97,6 +100,16 @@ CellRunResult CellMux::run(
     result.mean_queue_on_arrival /=
         static_cast<double>(result.arrived_cells - result.lost_cells);
   }
+
+  obs::MetricsShard shard;
+  shard.add("cell_mux.runs");
+  shard.add("cell_mux.frames", config.frames);
+  shard.add("cell_mux.arrived_cells", result.arrived_cells);
+  shard.add("cell_mux.lost_cells", result.lost_cells);
+  shard.gauge("cell_mux.peak_queue_cells",
+              static_cast<double>(result.peak_queue_cells),
+              obs::GaugeMode::kMax);
+  obs::MetricsRegistry::global().merge(shard);
   return result;
 }
 

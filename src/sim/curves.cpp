@@ -58,6 +58,7 @@ SimulatedCurve simulated_clr_curve(const fit::ModelSpec& model,
                                    const std::vector<double>& buffer_ms,
                                    const ReplicationConfig& scale) {
   ReplicationConfig config = scale;
+  config.progress_label = model.name;
   config.n_sources = geometry.n_sources;
   config.capacity_cells = geometry.total_capacity();
   config.buffer_sizes_cells.clear();

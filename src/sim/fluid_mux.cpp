@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "cts/obs/metrics.hpp"
+#include "cts/obs/progress.hpp"
+#include "cts/obs/trace.hpp"
 #include "cts/util/error.hpp"
 
 namespace cts::sim {
@@ -9,6 +12,7 @@ namespace cts::sim {
 FluidRunResult FluidMux::run(
     std::vector<std::unique_ptr<proc::FrameSource>>& sources,
     const FluidRunConfig& config) {
+  CTS_TRACE_SPAN("fluid_mux.run");
   util::require(!sources.empty(), "FluidMux: need at least one source");
   util::require(config.capacity_cells > 0.0,
                 "FluidMux: capacity must be > 0");
@@ -40,11 +44,19 @@ FluidRunResult FluidMux::run(
   double arrived = 0.0;
   double arrived_comp = 0.0;
 
+  double peak_workload = 0.0;
+  // Progress ticks are batched so the hot loop touches the reporter's
+  // atomics only every kProgressStride frames.
+  constexpr std::uint64_t kProgressStride = 8192;
+
   const std::uint64_t total = config.warmup_frames + config.frames;
   for (std::uint64_t n = 0; n < total; ++n) {
     double a = 0.0;
     for (auto& source : sources) a += source->next_frame();
     const bool measuring = n >= config.warmup_frames;
+    if (config.progress != nullptr && (n + 1) % kProgressStride == 0) {
+      config.progress->add_frames(kProgressStride);
+    }
 
     if (measuring) {
       const double y = a - arrived_comp;
@@ -76,6 +88,7 @@ FluidRunResult FluidMux::run(
 
     w_infinite = std::max(w_infinite + net, 0.0);
     if (measuring) {
+      if (w_infinite > peak_workload) peak_workload = w_infinite;
       for (std::size_t i = 0; i < result.bop.size(); ++i) {
         if (w_infinite > config.bop_thresholds_cells[i]) {
           ++result.bop[i].exceed_frames;
@@ -83,8 +96,30 @@ FluidRunResult FluidMux::run(
       }
     }
   }
+  if (config.progress != nullptr) {
+    config.progress->add_frames(total % kProgressStride);
+  }
 
   result.arrived_cells = arrived;
+  result.peak_workload_cells = peak_workload;
+
+  // One locked merge per run; the per-frame path above never touches the
+  // registry (accumulate-then-reduce, like the replication tallies).
+  obs::MetricsShard shard;
+  shard.add("fluid_mux.runs");
+  shard.add("fluid_mux.frames", config.frames);
+  shard.add_sum("fluid_mux.arrived_cells", arrived);
+  double lost = 0.0;
+  std::uint64_t loss_frames = 0;
+  for (const ClrTally& tally : result.clr) {
+    lost += tally.lost_cells;
+    loss_frames += tally.loss_frames;
+  }
+  shard.add_sum("fluid_mux.lost_cells", lost);
+  shard.add("fluid_mux.loss_frames", loss_frames);
+  shard.gauge("fluid_mux.peak_workload_cells", peak_workload,
+              obs::GaugeMode::kMax);
+  obs::MetricsRegistry::global().merge(shard);
   return result;
 }
 

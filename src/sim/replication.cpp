@@ -1,16 +1,33 @@
 #include "cts/sim/replication.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
+#include "cts/obs/metrics.hpp"
+#include "cts/obs/progress.hpp"
+#include "cts/obs/trace.hpp"
 #include "cts/util/error.hpp"
 #include "cts/util/flags.hpp"
 #include "cts/util/rng.hpp"
 
 namespace cts::sim {
 
+namespace {
+
+/// Bucket edges for the per-replication wall-time histogram (ms).
+const std::vector<double>& rep_wall_ms_edges() {
+  static const std::vector<double> edges = {1.0, 3.0,  10.0, 30.0, 100.0,
+                                            300.0, 1e3, 3e3,  1e4,  3e4,
+                                            1e5,   3e5};
+  return edges;
+}
+
+}  // namespace
+
 ReplicationResult run_replicated(const fit::ModelSpec& model,
                                  const ReplicationConfig& config) {
+  CTS_TRACE_SPAN("replication.run");
   util::require(config.replications >= 1,
                 "run_replicated: need at least one replication");
   util::require(config.n_sources >= 1,
@@ -22,6 +39,22 @@ ReplicationResult run_replicated(const fit::ModelSpec& model,
   unsigned threads = config.threads;
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   threads = std::min<unsigned>(threads, static_cast<unsigned>(reps));
+
+  // Config echo into the registry: a --metrics report then records the
+  // exact seed/scale/threads that produced its tallies.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.gauge("sim.threads", static_cast<double>(threads));
+  registry.gauge("sim.master_seed", static_cast<double>(config.master_seed));
+  registry.add("sim.replications", reps);
+  registry.add("sim.frames_total", reps * config.frames_per_replication);
+
+  obs::ProgressReporter::Options popts;
+  popts.label = config.progress_label.empty() ? "sim" : config.progress_label;
+  popts.total_units = reps;
+  popts.total_frames =
+      reps * (config.frames_per_replication + config.warmup_frames);
+  popts.force_disable = !config.progress;
+  obs::ProgressReporter reporter(std::move(popts));
 
   std::atomic<std::size_t> next_rep{0};
   auto worker = [&]() {
@@ -42,7 +75,19 @@ ReplicationResult run_replicated(const fit::ModelSpec& model,
       run.capacity_cells = config.capacity_cells;
       run.buffer_sizes_cells = config.buffer_sizes_cells;
       run.bop_thresholds_cells = config.bop_thresholds_cells;
-      per_rep[rep] = FluidMux::run(sources, run);
+      run.progress = &reporter;
+      {
+        CTS_TRACE_SPAN("replication");
+        const auto t0 = std::chrono::steady_clock::now();
+        per_rep[rep] = FluidMux::run(sources, run);
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        registry.observe("sim.replication.wall_ms", wall_ms,
+                         rep_wall_ms_edges());
+      }
+      reporter.unit_done();
     }
   };
 
@@ -50,6 +95,7 @@ ReplicationResult run_replicated(const fit::ModelSpec& model,
   pool.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
+  reporter.finish();
 
   // Aggregate.
   ReplicationResult result;

@@ -74,6 +74,30 @@ bool Flags::get_bool(const std::string& key, bool fallback) const {
   return v == "1" || v == "true" || v == "yes" || v == "on";
 }
 
+std::vector<std::string> Flags::unknown_keys(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : values_) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      unknown.push_back(key);  // values_ is sorted, so unknown is too
+    }
+  }
+  return unknown;
+}
+
+std::size_t Flags::warn_unknown(std::ostream& os,
+                                const std::vector<std::string>& known) const {
+  const std::vector<std::string> unknown = unknown_keys(known);
+  if (unknown.empty()) return 0;
+  for (const auto& key : unknown) {
+    os << "[warning: unknown flag --" << key << " ignored]\n";
+  }
+  os << "[known flags:";
+  for (const auto& key : known) os << " --" << key;
+  os << "]\n";
+  return unknown.size();
+}
+
 bool env_flag(const std::string& name) {
   const char* raw = std::getenv(name.c_str());
   if (raw == nullptr) return false;

@@ -1,0 +1,123 @@
+#include "cts/obs/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace obs = cts::obs;
+
+namespace {
+
+/// Reporter options rendering into /dev/null so tests stay silent.
+obs::ProgressReporter::Options silent_options(std::FILE* sink) {
+  obs::ProgressReporter::Options options;
+  options.label = "test";
+  options.total_units = 4;
+  options.total_frames = 1000000;
+  options.force_enable = true;
+  options.sink = sink;
+  return options;
+}
+
+class ProgressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sink_ = std::fopen("/dev/null", "w");
+    ASSERT_NE(sink_, nullptr);
+    obs::force_quiet(false);
+  }
+  void TearDown() override {
+    obs::force_quiet(false);
+    std::fclose(sink_);
+  }
+  std::FILE* sink_ = nullptr;
+};
+
+TEST_F(ProgressTest, ThrottleCollapsesRapidTicksIntoOneRender) {
+  obs::ProgressReporter::Options options = silent_options(sink_);
+  options.min_interval_sec = 3600.0;  // nothing after the first render
+  obs::ProgressReporter reporter(options);
+  for (int i = 0; i < 10000; ++i) reporter.add_frames(10);
+  EXPECT_EQ(reporter.frames(), 100000u);
+  EXPECT_EQ(reporter.render_count(), 1u);
+}
+
+TEST_F(ProgressTest, ZeroIntervalRendersEveryTick) {
+  obs::ProgressReporter::Options options = silent_options(sink_);
+  options.min_interval_sec = 0.0;
+  obs::ProgressReporter reporter(options);
+  for (int i = 0; i < 50; ++i) reporter.add_frames(1);
+  EXPECT_GE(reporter.render_count(), 50u);
+}
+
+TEST_F(ProgressTest, RenderedLineCarriesLabelUnitsAndRate) {
+  obs::ProgressReporter::Options options = silent_options(sink_);
+  options.min_interval_sec = 0.0;
+  obs::ProgressReporter reporter(options);
+  reporter.add_frames(5000);
+  reporter.unit_done();
+  const std::string line = reporter.last_line();
+  EXPECT_NE(line.find("[test]"), std::string::npos) << line;
+  EXPECT_NE(line.find("reps 1/4"), std::string::npos) << line;
+  EXPECT_NE(line.find("frames"), std::string::npos) << line;
+  EXPECT_NE(line.find("f/s"), std::string::npos) << line;
+  EXPECT_NE(line.find("ETA"), std::string::npos) << line;
+}
+
+TEST_F(ProgressTest, FinishIsIdempotentAndStopsFurtherRenders) {
+  obs::ProgressReporter::Options options = silent_options(sink_);
+  options.min_interval_sec = 0.0;
+  obs::ProgressReporter reporter(options);
+  reporter.add_frames(1);
+  reporter.finish();
+  const std::uint64_t renders = reporter.render_count();
+  reporter.finish();
+  reporter.add_frames(1);
+  EXPECT_EQ(reporter.render_count(), renders);
+}
+
+TEST_F(ProgressTest, ForceDisableWinsOverForceEnable) {
+  obs::ProgressReporter::Options options = silent_options(sink_);
+  options.force_disable = true;
+  obs::ProgressReporter reporter(options);
+  EXPECT_FALSE(reporter.enabled());
+  reporter.add_frames(100);
+  EXPECT_EQ(reporter.frames(), 0u);
+  EXPECT_EQ(reporter.render_count(), 0u);
+}
+
+TEST_F(ProgressTest, QuietModeDisablesAutoEnabledReporters) {
+  obs::force_quiet(true);
+  EXPECT_TRUE(obs::quiet());
+  obs::ProgressReporter::Options options;
+  options.label = "quiet";
+  options.sink = sink_;
+  obs::ProgressReporter reporter(options);  // not forced: honours quiet()
+  EXPECT_FALSE(reporter.enabled());
+}
+
+TEST_F(ProgressTest, CtsQuietEnvironmentVariableIsHonoured) {
+  ::setenv("CTS_QUIET", "1", 1);
+  EXPECT_TRUE(obs::quiet());
+  ::unsetenv("CTS_QUIET");
+  EXPECT_FALSE(obs::quiet());
+}
+
+TEST_F(ProgressTest, ConcurrentTickersNeverLoseFrames) {
+  obs::ProgressReporter::Options options = silent_options(sink_);
+  options.min_interval_sec = 0.0;
+  obs::ProgressReporter reporter(options);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t) {
+    pool.emplace_back([&reporter]() {
+      for (int i = 0; i < 10000; ++i) reporter.add_frames(1);
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(reporter.frames(), 40000u);
+}
+
+}  // namespace

@@ -1,0 +1,74 @@
+// End-to-end observability smoke test: runs a real bench binary at a tiny
+// REPRO scale with --metrics/--trace/--quiet and validates that the run
+// report and Chrome trace parse and carry the acceptance-critical fields
+// (total frames, arrived/lost cells, per-replication wall-time stats, seed,
+// thread count; one span per replication).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cts/obs/json.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ObsSmoke, BenchFig8EmitsParsableMetricsAndTrace) {
+#ifndef CTS_BENCH_BIN_DIR
+  GTEST_SKIP() << "bench harness not built";
+#else
+  const std::string bench =
+      std::string(CTS_BENCH_BIN_DIR) + "/bench_fig8_sim_clr";
+  {
+    std::ifstream exists(bench);
+    if (!exists.good()) {
+      GTEST_SKIP() << "bench binary not found: " << bench;
+    }
+  }
+  const std::string metrics_path = ::testing::TempDir() + "/smoke_metrics.json";
+  const std::string trace_path = ::testing::TempDir() + "/smoke_trace.json";
+  const std::string command =
+      "REPRO_REPS=2 REPRO_FRAMES=800 CTS_QUIET=1 '" + bench +
+      "' --quiet --metrics=" + metrics_path + " --trace=" + trace_path +
+      " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(command.c_str()), 0) << command;
+
+  const std::string metrics = read_file(metrics_path);
+  ASSERT_FALSE(metrics.empty());
+  std::string error;
+  ASSERT_TRUE(cts::obs::json_parse_check(metrics, &error))
+      << error << "\n" << metrics;
+  // Config echo: seed, scale, threads.
+  EXPECT_NE(metrics.find("\"master_seed\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"replications\":2"), std::string::npos);
+  EXPECT_NE(metrics.find("\"hardware_concurrency\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"sim.threads\""), std::string::npos);
+  // Tallies: frames, arrived cells, lost cells, per-replication wall time.
+  EXPECT_NE(metrics.find("\"sim.frames_total\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"fluid_mux.frames\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"fluid_mux.arrived_cells\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"fluid_mux.lost_cells\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"sim.replication.wall_ms\""), std::string::npos);
+  // Generator sample counts (fig8 simulates V^v and Z^a = DAR models).
+  EXPECT_NE(metrics.find("\"proc.dar.frames\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"proc.fbndp.frames\""), std::string::npos);
+
+  const std::string trace = read_file(trace_path);
+  ASSERT_FALSE(trace.empty());
+  ASSERT_TRUE(cts::obs::json_parse_check(trace, &error)) << error;
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"replication\""), std::string::npos);
+  EXPECT_NE(trace.find("\"fluid_mux.run\""), std::string::npos);
+#endif
+}
+
+}  // namespace

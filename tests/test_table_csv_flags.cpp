@@ -1,6 +1,8 @@
 // Unit tests for table rendering, CSV output and flag parsing.
 
 #include <cstdlib>
+#include <sstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -81,6 +83,32 @@ TEST(Flags, RejectsMalformedValues) {
   const char* argv[] = {"prog", "--frames=abc"};
   cu::Flags flags(2, argv);
   EXPECT_THROW(flags.get_int("frames", 0), cu::InvalidArgument);
+}
+
+TEST(Flags, UnknownKeysReportsTyposOnly) {
+  const char* argv[] = {"prog", "--frmes=500000", "--csv=out.csv", "--quiet"};
+  cu::Flags flags(4, argv);
+  const std::vector<std::string> unknown =
+      flags.unknown_keys({"frames", "csv", "quiet"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "frmes");
+}
+
+TEST(Flags, WarnUnknownPrintsWarningAndKnownList) {
+  const char* argv[] = {"prog", "--frmes=500000"};
+  cu::Flags flags(2, argv);
+  std::ostringstream os;
+  EXPECT_EQ(flags.warn_unknown(os, {"frames", "csv"}), 1u);
+  EXPECT_NE(os.str().find("unknown flag --frmes"), std::string::npos);
+  EXPECT_NE(os.str().find("--frames"), std::string::npos);
+}
+
+TEST(Flags, WarnUnknownSilentWhenAllKnown) {
+  const char* argv[] = {"prog", "--csv=out.csv"};
+  cu::Flags flags(2, argv);
+  std::ostringstream os;
+  EXPECT_EQ(flags.warn_unknown(os, {"csv"}), 0u);
+  EXPECT_TRUE(os.str().empty());
 }
 
 TEST(EnvFlag, ParsesTruthyValues) {
