@@ -22,7 +22,7 @@ namespace cu = cts::util;
 
 int main(int argc, char** argv) {
   const cu::Flags flags(argc, argv);
-  const bench::ObsGuard obs(flags, "ablation_cts_scan");
+  const bench::ObsGuard obs(flags, bench::spec("ablation_cts_scan"));
   bench::banner(
       "Ablation: exact CTS scan vs closed-form approximations (appendix)");
   cu::CsvWriter csv({"b_cells", "m_exact", "m_closed", "log10_br",

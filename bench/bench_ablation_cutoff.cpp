@@ -21,7 +21,7 @@ namespace cu = cts::util;
 
 int main(int argc, char** argv) {
   const cu::Flags flags(argc, argv);
-  const bench::ObsGuard obs(flags, "ablation_cutoff", {"buffer-ms"});
+  const bench::ObsGuard obs(flags, bench::spec("ablation_cutoff"), {"buffer-ms"});
   bench::banner(
       "Ablation: Critical Time Scale vs spectral cutoff time scale "
       "(Section 6.2)");

@@ -71,7 +71,7 @@ Comparison compare(double capacity_per_source, double buffer_cells,
 
 int main(int argc, char** argv) {
   const cu::Flags flags(argc, argv);
-  const bench::ObsGuard obs(flags, "ablation_granularity", {"frames"});
+  const bench::ObsGuard obs(flags, bench::spec("ablation_granularity"), {"frames"});
   bench::banner(
       "Ablation: fluid frame-level recursion vs 53-byte cell-granular "
       "simulation (DAR(1)~Z^0.975, N = 10, shared seeds)");

@@ -25,7 +25,7 @@ namespace cu = cts::util;
 
 int main(int argc, char** argv) {
   const cu::Flags flags(argc, argv);
-  const bench::ObsGuard obs(flags, "ablation_lrd_models");
+  const bench::ObsGuard obs(flags, bench::spec("ablation_lrd_models"));
   bench::banner(
       "Ablation: CTS and B-R BOP across LRD model classes (all H = 0.9, "
       "common moments; N = 30, c = 538)");

@@ -19,7 +19,7 @@ namespace cu = cts::util;
 
 int main(int argc, char** argv) {
   const cu::Flags flags(argc, argv);
-  const bench::ObsGuard obs(flags, "ablation_marginal");
+  const bench::ObsGuard obs(flags, bench::spec("ablation_marginal"));
   bench::banner(
       "Ablation: Gaussian vs negative-binomial marginal (same moments, "
       "same DAR(1) correlations)");

@@ -7,24 +7,33 @@
 // paper's 60 x 500k-frame scale (REPRO_REPS / REPRO_FRAMES override
 // individually).
 
-// Observability (see the "Observability" section of README.md): every bench
-// accepts --trace=<path> (Chrome-trace span timeline), --metrics=<path>
-// (JSON run report: config echo + all registry metrics) and --quiet
-// (suppress the stderr progress line; CTS_QUIET=1 equivalent), via the
+// Observability (see the "Observability" and "Benchmarking" sections of
+// README.md): every bench accepts --trace=<path> (Chrome-trace span
+// timeline), --metrics=<path> (JSON run report: config echo + all registry
+// metrics), --perf=<path> (cts.perf.v1 report: getrusage, hardware
+// counters when permitted, per-phase span self-time table — the file
+// tools/cts_benchd aggregates into BENCH_*.json), --quiet (suppress the
+// stderr progress line; CTS_QUIET=1 equivalent) and --help, via the
 // ObsGuard each main() constructs right after flag parsing.
 
 #pragma once
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_suite.hpp"
 #include "cts/fit/model_zoo.hpp"
+#include "cts/obs/perf.hpp"
 #include "cts/obs/progress.hpp"
 #include "cts/obs/run_report.hpp"
+#include "cts/obs/span_stats.hpp"
 #include "cts/obs/trace.hpp"
 #include "cts/sim/curves.hpp"
 #include "cts/sim/replication.hpp"
@@ -75,16 +84,33 @@ inline cts::sim::ReplicationConfig bench_scale() {
 }
 
 /// Per-bench observability harness.  Construct one right after parsing
-/// Flags; it (a) warns about unrecognised --flags, (b) enables span
-/// recording when --trace was passed, (c) honours --quiet, and (d) on
-/// destruction writes the --metrics run report and the --trace file.
+/// Flags; it (a) handles --help (prints the known-flag list and exits 0)
+/// and warns about unrecognised --flags with a did-you-mean suggestion,
+/// (b) enables span recording when --trace or --perf was passed,
+/// (c) honours --quiet, (d) arms the resource probe / hardware counters
+/// for --perf, and (e) on destruction writes the --metrics run report,
+/// the --trace file and the --perf report.
 class ObsGuard {
  public:
+  /// Preferred constructor: a registered bench (see bench_suite.hpp);
+  /// kind/title are echoed into the run and perf reports.
+  ObsGuard(const cts::util::Flags& flags, const BenchSpec& spec,
+           std::vector<std::string> extra_known = {})
+      : ObsGuard(flags, spec.id, std::move(extra_known)) {
+    kind_ = spec.kind;
+    title_ = spec.title;
+  }
+
   ObsGuard(const cts::util::Flags& flags, std::string run_id,
            std::vector<std::string> extra_known = {})
       : flags_(flags), run_id_(std::move(run_id)) {
-    std::vector<std::string> known = {"csv", "trace", "metrics", "quiet"};
+    std::vector<std::string> known = {"csv",  "trace", "metrics",
+                                      "perf", "quiet", "help"};
     known.insert(known.end(), extra_known.begin(), extra_known.end());
+    if (flags_.get_bool("help", false)) {
+      print_help(extra_known);
+      std::exit(0);
+    }
     flags_.warn_unknown(std::cerr, known);
     if (flags_.get_bool("quiet", false)) cts::obs::force_quiet(true);
     if (flags_.has("trace")) {
@@ -94,6 +120,15 @@ class ObsGuard {
     if (flags_.has("metrics")) {
       metrics_path_ = flags_.get_string("metrics", run_id_ + "_metrics.json");
     }
+    if (flags_.has("perf")) {
+      perf_path_ = flags_.get_string("perf", run_id_ + "_perf.json");
+      // Span self-time attribution needs the recorder even without --trace.
+      cts::obs::TraceRecorder::global().enable();
+      probe_.emplace();
+      counters_ = std::make_unique<cts::obs::PerfCounterGroup>();
+      counters_->start();
+    }
+    main_start_us_ = cts::obs::TraceRecorder::global().now_us();
   }
 
   ~ObsGuard() {
@@ -108,10 +143,45 @@ class ObsGuard {
   ObsGuard& operator=(const ObsGuard&) = delete;
 
  private:
-  void write_reports() const {
+  void print_help(const std::vector<std::string>& extra_known) const {
+    std::printf("usage: %s [--flag[=value] ...]\n\n", run_id_.c_str());
+    std::printf("shared flags:\n");
+    std::printf("  --csv=PATH      mirror the rendered table as CSV\n");
+    std::printf("  --trace=PATH    write a Chrome-trace span timeline\n");
+    std::printf(
+        "  --metrics=PATH  write the JSON run report (config echo + metrics "
+        "registry)\n");
+    std::printf(
+        "  --perf=PATH     write the cts.perf.v1 report (rusage, hw "
+        "counters, span self-times)\n");
+    std::printf(
+        "  --quiet         suppress the stderr progress line (CTS_QUIET=1 "
+        "equivalent)\n");
+    std::printf("  --help          print this flag list and exit\n");
+    if (!extra_known.empty()) {
+      std::printf("bench flags:\n");
+      for (const std::string& key : extra_known) {
+        std::printf("  --%s\n", key.c_str());
+      }
+    }
+    std::printf(
+        "environment: REPRO_FULL=1 (paper scale), REPRO_REPS / REPRO_FRAMES "
+        "(scale overrides), CTS_QUIET=1\n");
+  }
+
+  void write_reports() {
+    cts::obs::TraceRecorder& recorder = cts::obs::TraceRecorder::global();
+    if (recorder.enabled()) {
+      // Root span covering the bench body, so every bench — including the
+      // purely analytic ones — has a phase table with at least "bench".
+      recorder.record("bench.main", main_start_us_,
+                      recorder.now_us() - main_start_us_);
+    }
     if (!metrics_path_.empty()) {
       cts::obs::RunReport report;
       report.set("run_id", run_id_);
+      if (!kind_.empty()) report.set("bench_kind", kind_);
+      if (!title_.empty()) report.set("bench_title", title_);
       report.set("repro_full", cts::util::env_flag("REPRO_FULL"));
       const cts::sim::ReplicationConfig scale = bench_scale_echo();
       report.set("replications", static_cast<std::uint64_t>(scale.replications));
@@ -136,6 +206,21 @@ class ObsGuard {
                     trace_path_.c_str());
       }
     }
+    if (!perf_path_.empty()) {
+      cts::obs::PerfReport report;
+      report.info.emplace_back("run_id", run_id_);
+      if (!kind_.empty()) report.info.emplace_back("bench_kind", kind_);
+      if (!title_.empty()) report.info.emplace_back("bench_title", title_);
+      report.resources = probe_->sample();
+      report.hw = counters_->stop();
+      report.spans = cts::obs::aggregate_spans(recorder.events());
+      if (report.write(perf_path_)) {
+        std::printf("[perf report written to %s]\n", perf_path_.c_str());
+      } else {
+        std::printf("[warning: could not write perf report to %s]\n",
+                    perf_path_.c_str());
+      }
+    }
   }
 
   /// The env-resolved scale the simulation benches run at, echoed into the
@@ -144,8 +229,14 @@ class ObsGuard {
 
   const cts::util::Flags& flags_;
   std::string run_id_;
+  std::string kind_;
+  std::string title_;
   std::string trace_path_;
   std::string metrics_path_;
+  std::string perf_path_;
+  std::int64_t main_start_us_ = 0;
+  std::optional<cts::obs::ResourceProbe> probe_;
+  std::unique_ptr<cts::obs::PerfCounterGroup> counters_;
 };
 
 inline cts::sim::ReplicationConfig ObsGuard::bench_scale_echo() {

@@ -16,7 +16,7 @@ namespace cu = cts::util;
 
 int main(int argc, char** argv) {
   const cu::Flags flags(argc, argv);
-  const bench::ObsGuard obs(flags, "fig10_asymptotics");
+  const bench::ObsGuard obs(flags, bench::spec("fig10_asymptotics"));
   bench::banner(
       "Figure 10: large-buffer asymptotics vs simulation -- DAR(1)~Z^0.975 "
       "(N = 30, c = 538)");

@@ -14,7 +14,7 @@ namespace cu = cts::util;
 
 int main(int argc, char** argv) {
   const cu::Flags flags(argc, argv);
-  const bench::ObsGuard obs(flags, "fig1_acf_concept");
+  const bench::ObsGuard obs(flags, bench::spec("fig1_acf_concept"));
   bench::banner("Figure 1: effect of a (Z^a) and v (V^v) on the ACF");
 
   const std::vector<std::size_t> lags = {1, 2, 5, 10, 20, 50, 100, 500, 1000};

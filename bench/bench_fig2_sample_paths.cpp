@@ -48,7 +48,7 @@ void describe(const std::string& name, const std::vector<double>& path) {
 
 int main(int argc, char** argv) {
   const cu::Flags flags(argc, argv);
-  const bench::ObsGuard obs(flags, "fig2_sample_paths", {"frames"});
+  const bench::ObsGuard obs(flags, bench::spec("fig2_sample_paths"), {"frames"});
   bench::banner("Figure 2: sample paths of Z^0.7 vs matched DAR(1), N = 10");
 
   const std::size_t frames =

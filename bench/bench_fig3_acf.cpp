@@ -40,7 +40,7 @@ void panel(const std::string& title, const std::vector<cf::ModelSpec>& models,
 
 int main(int argc, char** argv) {
   const cu::Flags flags(argc, argv);
-  const bench::ObsGuard obs(flags, "fig3_acf");
+  const bench::ObsGuard obs(flags, bench::spec("fig3_acf"));
   bench::banner("Figure 3: analytic ACFs of V^v, Z^a, S = DAR(p), and L");
   cu::CsvWriter csv({"panel", "lag", "model", "r"});
 

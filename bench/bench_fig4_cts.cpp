@@ -43,7 +43,7 @@ void panel(const std::string& title, const std::vector<cf::ModelSpec>& models,
 
 int main(int argc, char** argv) {
   const cu::Flags flags(argc, argv);
-  const bench::ObsGuard obs(flags, "fig4_cts");
+  const bench::ObsGuard obs(flags, bench::spec("fig4_cts"));
   bench::banner("Figure 4: Critical Time Scale m* vs total buffer "
                 "(c = 526, N = 100)");
   cu::CsvWriter csv({"panel", "buffer_ms", "model", "critical_m"});

@@ -43,7 +43,7 @@ void panel(const std::string& title, const std::vector<cf::ModelSpec>& models,
 
 int main(int argc, char** argv) {
   const cu::Flags flags(argc, argv);
-  const bench::ObsGuard obs(flags, "fig5_bop");
+  const bench::ObsGuard obs(flags, bench::spec("fig5_bop"));
   bench::banner(
       "Figure 5: B-R asymptotic BOPs (N = 30, c = 538 cells/frame)");
   cu::CsvWriter csv({"panel", "buffer_ms", "model", "log10_bop"});

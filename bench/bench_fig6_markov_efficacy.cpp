@@ -41,7 +41,7 @@ void panel(const std::string& title, const std::vector<cf::ModelSpec>& models,
 
 int main(int argc, char** argv) {
   const cu::Flags flags(argc, argv);
-  const bench::ObsGuard obs(flags, "fig6_markov_efficacy");
+  const bench::ObsGuard obs(flags, bench::spec("fig6_markov_efficacy"));
   bench::banner(
       "Figure 6: efficacy of Markov models -- B-R BOPs, log10 (N = 30, "
       "c = 538)");

@@ -16,7 +16,7 @@ namespace cu = cts::util;
 
 int main(int argc, char** argv) {
   const cu::Flags flags(argc, argv);
-  const bench::ObsGuard obs(flags, "fig7_wide_range");
+  const bench::ObsGuard obs(flags, bench::spec("fig7_wide_range"));
   bench::banner(
       "Figure 7: wide-buffer-range BOPs, log10 (N = 30, c = 538) -- where "
       "the myths come from");

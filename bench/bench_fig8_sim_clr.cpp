@@ -45,7 +45,7 @@ void panel(const std::string& title, const std::vector<cf::ModelSpec>& models,
 
 int main(int argc, char** argv) {
   const cu::Flags flags(argc, argv);
-  const bench::ObsGuard obs(flags, "fig8_sim_clr");
+  const bench::ObsGuard obs(flags, bench::spec("fig8_sim_clr"));
   bench::banner(
       "Figure 8: simulated CLRs of V^v and Z^a (N = 30, c = 538)");
   cu::CsvWriter csv({"panel", "buffer_ms", "model", "clr"});

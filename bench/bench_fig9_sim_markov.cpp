@@ -42,7 +42,7 @@ void panel(const std::string& title, const std::vector<cf::ModelSpec>& models,
 
 int main(int argc, char** argv) {
   const cu::Flags flags(argc, argv);
-  const bench::ObsGuard obs(flags, "fig9_sim_markov");
+  const bench::ObsGuard obs(flags, bench::spec("fig9_sim_markov"));
   bench::banner(
       "Figure 9: simulated CLRs -- Z^a vs matched DAR(p) vs L (N = 30, "
       "c = 538)");

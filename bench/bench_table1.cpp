@@ -24,7 +24,7 @@ namespace cu = cts::util;
 
 int main(int argc, char** argv) {
   const cu::Flags flags(argc, argv);
-  const bench::ObsGuard obs(flags, "table1");
+  const bench::ObsGuard obs(flags, bench::spec("table1"));
   bench::banner("Table 1: model parameters of V^v, Z^a, S and L");
 
   cu::TextTable mixtures({"model", "v", "alpha", "a (DAR1)", "lambda (c/s)",

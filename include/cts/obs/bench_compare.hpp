@@ -1,0 +1,68 @@
+// Noise-aware regression comparison of two cts.bench.v1 documents
+// (BENCH_*.json emitted by tools/cts_benchd).
+//
+// A metric flags as a regression only when the candidate median is worse
+// than the baseline median by BOTH gates:
+//
+//   |delta|  >  k_mad * max(MAD_baseline, MAD_candidate, abs_floor)   and
+//   |delta|  >  min_rel * baseline_median
+//
+// so a 2% wobble on a noisy metric and a 20-microsecond jitter on a
+// sub-millisecond one both stay quiet, while a real slowdown trips either
+// way it manifests.  All gated metrics (wall/user/sys time, peak RSS) are
+// higher-is-worse; symmetric improvements are reported but never fail.
+// tools/cts_benchcmp wraps this into a CLI that exits non-zero on
+// regression so CI can gate on it.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cts/obs/json.hpp"
+
+namespace cts::obs {
+
+/// Schema identifier stamped into BENCH_*.json by cts_benchd.
+inline constexpr const char* kBenchSchema = "cts.bench.v1";
+
+/// Throws util::InvalidArgument unless `doc` carries the cts.bench.v1
+/// schema tag and a "benches" object.
+void require_bench_schema(const JsonValue& doc);
+
+struct CompareOptions {
+  double k_mad = 3.0;     ///< noise gate in MAD multiples
+  double min_rel = 0.05;  ///< relative gate (fraction of baseline median)
+  double abs_floor = 1e-4;  ///< MAD floor so zero-MAD metrics can't hair-trigger
+  std::vector<std::string> metrics = {"wall_s", "user_s", "sys_s",
+                                      "max_rss_kb"};
+};
+
+/// One metric compared across the two files.
+struct MetricDelta {
+  std::string bench;
+  std::string metric;
+  double baseline_median = 0.0;
+  double candidate_median = 0.0;
+  double baseline_mad = 0.0;
+  double candidate_mad = 0.0;
+  double rel = 0.0;  ///< (candidate - baseline) / baseline (0 when baseline 0)
+  bool regression = false;
+  bool improvement = false;
+};
+
+struct CompareReport {
+  std::vector<MetricDelta> deltas;
+  /// Benches/metrics present in only one file (informational, not fatal).
+  std::vector<std::string> notes;
+
+  bool has_regression() const noexcept;
+};
+
+/// Compares `candidate` against `baseline`; both must satisfy
+/// require_bench_schema (throws util::InvalidArgument otherwise).
+CompareReport compare_bench_reports(const JsonValue& baseline,
+                                    const JsonValue& candidate,
+                                    const CompareOptions& options = {});
+
+}  // namespace cts::obs

@@ -1,0 +1,40 @@
+// Robust summary statistics for repeated benchmark measurements.
+//
+// Bench timings are right-skewed and occasionally contaminated by scheduler
+// noise, so cts_benchd reports the median and the MAD (median absolute
+// deviation) rather than mean/stddev, plus a 95% confidence interval for
+// the median from the normal approximation to its sampling distribution:
+//
+//   se(median) ~= 1.2533 * sigma / sqrt(n),   sigma ~= 1.4826 * MAD
+//
+// with a Student-t critical value instead of 1.96 to stay honest at the
+// small repeat counts (3-10) a bench suite actually runs.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cts::obs {
+
+/// Summary of one metric over n repeated runs.
+struct RobustSummary {
+  std::size_t n = 0;
+  double median = 0.0;
+  double mad = 0.0;      ///< median absolute deviation (unscaled)
+  double ci95_lo = 0.0;  ///< 95% CI for the median; == median when n < 2
+  double ci95_hi = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// Median of `values` (average of the middle pair for even n).
+/// Returns 0 for an empty input.
+double median_of(std::vector<double> values);
+
+/// Computes the robust summary; `confidence` is the two-sided CI level.
+RobustSummary robust_summary(std::vector<double> values,
+                             double confidence = 0.95);
+
+}  // namespace cts::obs

@@ -1,17 +1,22 @@
-// Minimal JSON emission and validation for the observability exporters.
+// Minimal JSON emission, validation and parsing for the observability
+// exporters and the perf-telemetry tools.
 //
 // The run-report (--metrics) and Chrome-trace (--trace) writers need
 // well-formed JSON without an external dependency.  JsonWriter tracks the
 // container stack and inserts commas/colons itself, so an exporter cannot
 // produce structurally invalid output; json_parse_check is a strict
 // recursive-descent validator used by the tests and the ctest smoke test
-// to confirm the emitted files actually parse.
+// to confirm the emitted files actually parse; json_parse builds a small
+// DOM (JsonValue) from the same grammar, so cts_benchd can aggregate
+// per-run perf reports and cts_benchcmp can diff two BENCH_*.json files.
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cts::obs {
@@ -74,5 +79,45 @@ class JsonWriter {
 /// returns false and, when `error` is non-null, stores a message with the
 /// byte offset of the problem.
 bool json_parse_check(const std::string& text, std::string* error = nullptr);
+
+/// Parsed JSON value: a small DOM for reading the files this library
+/// itself emits (perf reports, BENCH_*.json).  Object member order is
+/// preserved.  Accessors with a type precondition throw
+/// util::InvalidArgument on mismatch so schema errors surface as one
+/// catchable exception rather than silent zeros.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                            ///< arrays
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< objects
+
+  bool is_null() const noexcept { return type == Type::kNull; }
+  bool is_bool() const noexcept { return type == Type::kBool; }
+  bool is_number() const noexcept { return type == Type::kNumber; }
+  bool is_string() const noexcept { return type == Type::kString; }
+  bool is_array() const noexcept { return type == Type::kArray; }
+  bool is_object() const noexcept { return type == Type::kObject; }
+
+  bool as_bool() const;          ///< requires kBool
+  double as_number() const;      ///< requires kNumber
+  const std::string& as_string() const;  ///< requires kString
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const noexcept;
+  /// Object member lookup; throws InvalidArgument when absent.
+  const JsonValue& at(const std::string& key) const;
+  /// Array element; throws InvalidArgument when out of range.
+  const JsonValue& at(std::size_t index) const;
+  /// Array / object element count (0 for scalars).
+  std::size_t size() const noexcept;
+};
+
+/// Parses `text` (same strict RFC 8259 grammar as json_parse_check) into a
+/// DOM.  Throws util::InvalidArgument with the byte offset on failure.
+JsonValue json_parse(const std::string& text);
 
 }  // namespace cts::obs

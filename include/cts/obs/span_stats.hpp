@@ -1,0 +1,52 @@
+// Span-time attribution: turns the flat Chrome-trace span list recorded by
+// TraceRecorder into a per-span-name aggregate table with *self* time, i.e.
+// each span's duration minus the time spent in spans nested inside it on
+// the same thread.  Self time answers "which phase actually burned the
+// wall-clock" — a replication span that spends 95% of its time inside
+// fluid_mux.run contributes only 5% self time.
+//
+// A second rollup groups span names into coarse phases by their prefix up
+// to the first '.' ("fluid_mux.run" -> "fluid_mux"), giving the
+// generator-vs-mux-vs-stats table embedded in perf reports (--perf=) and
+// aggregated by cts_benchd into BENCH_*.json.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cts/obs/trace.hpp"
+
+namespace cts::obs {
+
+/// Aggregate over all spans sharing one name.
+struct SpanAgg {
+  std::string name;
+  std::uint64_t count = 0;
+  std::int64_t total_us = 0;  ///< sum of span durations (inclusive)
+  std::int64_t self_us = 0;   ///< total minus time in directly nested spans
+  std::int64_t min_us = 0;    ///< shortest single span
+  std::int64_t max_us = 0;    ///< longest single span
+};
+
+/// Coarse per-phase rollup (phase = span name prefix before the first '.').
+struct PhaseSelfTime {
+  std::string phase;
+  std::int64_t self_us = 0;
+  std::uint64_t spans = 0;
+};
+
+/// The phase a span name belongs to: everything before the first '.', the
+/// whole name when there is no dot ("replication" -> "replication").
+std::string span_phase(const std::string& name);
+
+/// Aggregates completed spans into per-name totals with self time.
+/// Nesting is inferred per thread from interval containment (RAII spans
+/// nest properly by construction).  Result is sorted by self_us descending.
+std::vector<SpanAgg> aggregate_spans(const std::vector<TraceEvent>& events);
+
+/// Rolls span aggregates up into phases, sorted by self_us descending.
+std::vector<PhaseSelfTime> phase_self_times(const std::vector<SpanAgg>& spans);
+
+}  // namespace cts::obs

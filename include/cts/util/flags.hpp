@@ -37,9 +37,17 @@ class Flags {
       const std::vector<std::string>& known) const;
 
   /// Prints one warning line per unknown key to `os` (listing the known
-  /// flags once); returns the number of unknown keys.
+  /// flags once); returns the number of unknown keys.  When an unknown key
+  /// is a near-miss of a known flag the warning names it:
+  ///   [warning: unknown flag --metrcs ignored (did you mean --metrics?)]
   std::size_t warn_unknown(std::ostream& os,
                            const std::vector<std::string>& known) const;
+
+  /// The known flag closest to `key` in edit distance, or "" when nothing
+  /// is close enough to plausibly be a typo (distance must be <= 2 and
+  /// strictly less than half the key length).
+  static std::string suggest(const std::string& key,
+                             const std::vector<std::string>& known);
 
  private:
   std::map<std::string, std::string> values_;

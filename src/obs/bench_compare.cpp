@@ -1,0 +1,90 @@
+#include "cts/obs/bench_compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cts/util/error.hpp"
+
+namespace cts::obs {
+
+void require_bench_schema(const JsonValue& doc) {
+  util::require(doc.is_object(), "bench report: top level must be an object");
+  const JsonValue* schema = doc.find("schema");
+  util::require(schema != nullptr && schema->is_string() &&
+                    schema->string == kBenchSchema,
+                std::string("bench report: expected schema \"") +
+                    kBenchSchema + "\"");
+  const JsonValue* benches = doc.find("benches");
+  util::require(benches != nullptr && benches->is_object(),
+                "bench report: missing \"benches\" object");
+}
+
+bool CompareReport::has_regression() const noexcept {
+  return std::any_of(deltas.begin(), deltas.end(),
+                     [](const MetricDelta& d) { return d.regression; });
+}
+
+CompareReport compare_bench_reports(const JsonValue& baseline,
+                                    const JsonValue& candidate,
+                                    const CompareOptions& options) {
+  require_bench_schema(baseline);
+  require_bench_schema(candidate);
+
+  CompareReport report;
+  const JsonValue& base_benches = baseline.at("benches");
+  const JsonValue& cand_benches = candidate.at("benches");
+
+  for (const auto& [bench_name, base_bench] : base_benches.members) {
+    const JsonValue* cand_bench = cand_benches.find(bench_name);
+    if (cand_bench == nullptr) {
+      report.notes.push_back("bench '" + bench_name +
+                             "' missing from candidate");
+      continue;
+    }
+    const JsonValue* base_metrics = base_bench.find("metrics");
+    const JsonValue* cand_metrics = cand_bench->find("metrics");
+    if (base_metrics == nullptr || cand_metrics == nullptr) continue;
+
+    for (const std::string& metric : options.metrics) {
+      const JsonValue* bm = base_metrics->find(metric);
+      const JsonValue* cm = cand_metrics->find(metric);
+      if (bm == nullptr || cm == nullptr) {
+        if (bm != nullptr || cm != nullptr) {
+          report.notes.push_back("metric '" + bench_name + "." + metric +
+                                 "' present in only one file");
+        }
+        continue;
+      }
+      MetricDelta d;
+      d.bench = bench_name;
+      d.metric = metric;
+      d.baseline_median = bm->at("median").as_number();
+      d.candidate_median = cm->at("median").as_number();
+      d.baseline_mad = bm->at("mad").as_number();
+      d.candidate_mad = cm->at("mad").as_number();
+      const double delta = d.candidate_median - d.baseline_median;
+      d.rel = d.baseline_median != 0.0 ? delta / d.baseline_median : 0.0;
+
+      const double noise = options.k_mad *
+                           std::max({d.baseline_mad, d.candidate_mad,
+                                     options.abs_floor});
+      const double rel_gate = options.min_rel * std::fabs(d.baseline_median);
+      const bool significant =
+          std::fabs(delta) > noise && std::fabs(delta) > rel_gate;
+      d.regression = significant && delta > 0.0;
+      d.improvement = significant && delta < 0.0;
+      report.deltas.push_back(std::move(d));
+    }
+  }
+
+  for (const auto& [bench_name, cand_bench] : cand_benches.members) {
+    (void)cand_bench;
+    if (base_benches.find(bench_name) == nullptr) {
+      report.notes.push_back("bench '" + bench_name +
+                             "' missing from baseline");
+    }
+  }
+  return report;
+}
+
+}  // namespace cts::obs

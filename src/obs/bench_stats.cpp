@@ -1,0 +1,56 @@
+#include "cts/obs/bench_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cts/util/student_t.hpp"
+
+namespace cts::obs {
+
+double median_of(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  const double upper = values[mid];
+  if (values.size() % 2 == 1) return upper;
+  const double lower =
+      *std::max_element(values.begin(),
+                        values.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lower + upper);
+}
+
+RobustSummary robust_summary(std::vector<double> values, double confidence) {
+  RobustSummary s;
+  s.n = values.size();
+  if (values.empty()) return s;
+
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  double total = 0.0;
+  for (const double v : values) total += v;
+  s.mean = total / static_cast<double>(values.size());
+  s.median = median_of(values);
+
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (const double v : values) deviations.push_back(std::fabs(v - s.median));
+  s.mad = median_of(std::move(deviations));
+
+  if (s.n < 2) {
+    s.ci95_lo = s.median;
+    s.ci95_hi = s.median;
+    return s;
+  }
+  // Normal-approximation standard error of the median, sigma from the
+  // consistency-scaled MAD, t critical value for the small-sample factor.
+  const double sigma = 1.4826 * s.mad;
+  const double se = 1.2533 * sigma / std::sqrt(static_cast<double>(s.n));
+  const double t = cts::util::student_t_critical(
+      confidence, static_cast<double>(s.n - 1));
+  s.ci95_lo = s.median - t * se;
+  s.ci95_hi = s.median + t * se;
+  return s;
+}
+
+}  // namespace cts::obs

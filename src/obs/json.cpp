@@ -1,7 +1,9 @@
 #include "cts/obs/json.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "cts/util/error.hpp"
 
@@ -148,18 +150,20 @@ JsonWriter& JsonWriter::raw(const std::string& json) {
 }
 
 // ---------------------------------------------------------------------------
-// Validator: recursive descent over the RFC 8259 grammar.
+// Validator / parser: recursive descent over the RFC 8259 grammar.  When
+// constructed with a root JsonValue the same pass builds the DOM; with
+// nullptr it only validates (no allocation beyond the error message).
 
 namespace {
 
 class Parser {
  public:
-  Parser(const std::string& text, std::string* error)
-      : text_(text), error_(error) {}
+  Parser(const std::string& text, std::string* error, JsonValue* root = nullptr)
+      : text_(text), error_(error), root_(root) {}
 
   bool run() {
     skip_ws();
-    if (!parse_value()) return false;
+    if (!parse_value(root_)) return false;
     skip_ws();
     if (pos_ != text_.size()) return fail("trailing characters");
     return true;
@@ -191,34 +195,50 @@ class Parser {
     return true;
   }
 
-  bool parse_value() {
+  bool parse_value(JsonValue* out) {
     if (depth_ > kMaxDepth) return fail("nesting too deep");
     if (eof()) return fail("unexpected end of input");
     switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': return parse_string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return parse_number();
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': {
+        if (out != nullptr) out->type = JsonValue::Type::kString;
+        return parse_string(out != nullptr ? &out->string : nullptr);
+      }
+      case 't':
+        if (out != nullptr) { out->type = JsonValue::Type::kBool; out->boolean = true; }
+        return literal("true");
+      case 'f':
+        if (out != nullptr) { out->type = JsonValue::Type::kBool; out->boolean = false; }
+        return literal("false");
+      case 'n':
+        if (out != nullptr) out->type = JsonValue::Type::kNull;
+        return literal("null");
+      default: return parse_number(out);
     }
   }
 
-  bool parse_object() {
+  bool parse_object(JsonValue* out) {
     ++pos_;  // '{'
     ++depth_;
+    if (out != nullptr) out->type = JsonValue::Type::kObject;
     skip_ws();
     if (!eof() && peek() == '}') { ++pos_; --depth_; return true; }
     while (true) {
       skip_ws();
       if (eof() || peek() != '"') return fail("expected object key");
-      if (!parse_string()) return false;
+      std::string key;
+      if (!parse_string(out != nullptr ? &key : nullptr)) return false;
       skip_ws();
       if (eof() || peek() != ':') return fail("expected ':'");
       ++pos_;
       skip_ws();
-      if (!parse_value()) return false;
+      JsonValue* slot = nullptr;
+      if (out != nullptr) {
+        out->members.emplace_back(std::move(key), JsonValue{});
+        slot = &out->members.back().second;
+      }
+      if (!parse_value(slot)) return false;
       skip_ws();
       if (eof()) return fail("unterminated object");
       if (peek() == ',') { ++pos_; continue; }
@@ -227,14 +247,20 @@ class Parser {
     }
   }
 
-  bool parse_array() {
+  bool parse_array(JsonValue* out) {
     ++pos_;  // '['
     ++depth_;
+    if (out != nullptr) out->type = JsonValue::Type::kArray;
     skip_ws();
     if (!eof() && peek() == ']') { ++pos_; --depth_; return true; }
     while (true) {
       skip_ws();
-      if (!parse_value()) return false;
+      JsonValue* slot = nullptr;
+      if (out != nullptr) {
+        out->items.emplace_back();
+        slot = &out->items.back();
+      }
+      if (!parse_value(slot)) return false;
       skip_ws();
       if (eof()) return fail("unterminated array");
       if (peek() == ',') { ++pos_; continue; }
@@ -243,7 +269,10 @@ class Parser {
     }
   }
 
-  bool parse_string() {
+  /// Validates a string token; when `out` is non-null also stores the
+  /// unescaped contents (\uXXXX decoded to UTF-8, surrogate pairs combined,
+  /// lone surrogates replaced with U+FFFD).
+  bool parse_string(std::string* out) {
     ++pos_;  // opening quote
     while (true) {
       if (eof()) return fail("unterminated string");
@@ -255,18 +284,77 @@ class Parser {
         if (eof()) return fail("dangling escape");
         const char e = text_[pos_];
         if (e == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            ++pos_;
-            if (eof() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
-              return fail("bad \\u escape");
+          unsigned cp = 0;
+          if (!hex4(&cp)) return false;
+          if (out != nullptr) {
+            if (cp >= 0xD800 && cp <= 0xDBFF && pos_ + 2 < text_.size() &&
+                text_[pos_ + 1] == '\\' && text_[pos_ + 2] == 'u') {
+              pos_ += 2;
+              unsigned lo = 0;
+              if (!hex4(&lo)) return false;
+              if (lo >= 0xDC00 && lo <= 0xDFFF) {
+                cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+              } else {
+                append_utf8(out, 0xFFFD);
+                cp = (lo >= 0xD800 && lo <= 0xDFFF) ? 0xFFFD : lo;
+              }
+            } else if (cp >= 0xD800 && cp <= 0xDFFF) {
+              cp = 0xFFFD;
             }
+            append_utf8(out, cp);
+          } else {
+            // Validation only: a paired low surrogate is consumed by the
+            // next loop iteration as its own \u escape.
           }
-        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
-                   e != 'n' && e != 'r' && e != 't') {
+        } else if (e == '"' || e == '\\' || e == '/') {
+          if (out != nullptr) out->push_back(e);
+        } else if (e == 'b') { if (out != nullptr) out->push_back('\b');
+        } else if (e == 'f') { if (out != nullptr) out->push_back('\f');
+        } else if (e == 'n') { if (out != nullptr) out->push_back('\n');
+        } else if (e == 'r') { if (out != nullptr) out->push_back('\r');
+        } else if (e == 't') { if (out != nullptr) out->push_back('\t');
+        } else {
           return fail("bad escape character");
         }
+      } else if (out != nullptr) {
+        out->push_back(static_cast<char>(c));
       }
       ++pos_;
+    }
+  }
+
+  /// Consumes the 4 hex digits of a \u escape (pos_ on the 'u' at entry,
+  /// on the last digit at exit) and stores the code unit.
+  bool hex4(unsigned* cp) {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      ++pos_;
+      if (eof() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return fail("bad \\u escape");
+      }
+      const char d = text_[pos_];
+      v = v * 16 + static_cast<unsigned>(
+                       d <= '9' ? d - '0' : (d | 0x20) - 'a' + 10);
+    }
+    *cp = v;
+    return true;
+  }
+
+  static void append_utf8(std::string* out, unsigned cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
     }
   }
 
@@ -278,7 +366,8 @@ class Parser {
     return true;
   }
 
-  bool parse_number() {
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos_;
     if (peek() == '-') ++pos_;
     if (eof()) return fail("expected digit");
     if (peek() == '0') {
@@ -295,6 +384,11 @@ class Parser {
       if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
       if (!digits()) return false;
     }
+    if (out != nullptr) {
+      out->type = JsonValue::Type::kNumber;
+      out->number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                                nullptr);
+    }
     return true;
   }
 
@@ -302,6 +396,7 @@ class Parser {
 
   const std::string& text_;
   std::string* error_;
+  JsonValue* root_;
   std::size_t pos_ = 0;
   int depth_ = 0;
 };
@@ -310,6 +405,57 @@ class Parser {
 
 bool json_parse_check(const std::string& text, std::string* error) {
   return Parser(text, error).run();
+}
+
+JsonValue json_parse(const std::string& text) {
+  JsonValue root;
+  std::string error;
+  if (!Parser(text, &error, &root).run()) {
+    throw util::InvalidArgument("json_parse: " + error);
+  }
+  return root;
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue accessors
+
+bool JsonValue::as_bool() const {
+  util::require(is_bool(), "JsonValue: not a bool");
+  return boolean;
+}
+
+double JsonValue::as_number() const {
+  util::require(is_number(), "JsonValue: not a number");
+  return number;
+}
+
+const std::string& JsonValue::as_string() const {
+  util::require(is_string(), "JsonValue: not a string");
+  return string;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const noexcept {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  util::require(v != nullptr, "JsonValue: missing member '" + key + "'");
+  return *v;
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  util::require(is_array() && index < items.size(),
+                "JsonValue: array index out of range");
+  return items[index];
+}
+
+std::size_t JsonValue::size() const noexcept {
+  return is_array() ? items.size() : (is_object() ? members.size() : 0);
 }
 
 }  // namespace cts::obs

@@ -85,12 +85,60 @@ std::vector<std::string> Flags::unknown_keys(
   return unknown;
 }
 
+namespace {
+
+/// Levenshtein distance with early exit once the best achievable distance
+/// exceeds `limit` (flag names are short, so the O(a*b) matrix is cheap).
+std::size_t edit_distance(const std::string& a, const std::string& b,
+                          std::size_t limit) {
+  if (a.size() > b.size() + limit || b.size() > a.size() + limit) {
+    return limit + 1;
+  }
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> curr(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = i;
+    std::size_t row_min = curr[0];
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, sub});
+      row_min = std::min(row_min, curr[j]);
+    }
+    if (row_min > limit) return limit + 1;
+    std::swap(prev, curr);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+std::string Flags::suggest(const std::string& key,
+                           const std::vector<std::string>& known) {
+  // A typo plausibly maps back when it is within 2 edits and the edits do
+  // not rewrite most of the word (--x is never "close to" --csv).
+  const std::size_t limit = 2;
+  std::string best;
+  std::size_t best_distance = limit + 1;
+  for (const std::string& candidate : known) {
+    const std::size_t d = edit_distance(key, candidate, limit);
+    if (d < best_distance && 2 * d < std::max(key.size(), candidate.size())) {
+      best = candidate;
+      best_distance = d;
+    }
+  }
+  return best;
+}
+
 std::size_t Flags::warn_unknown(std::ostream& os,
                                 const std::vector<std::string>& known) const {
   const std::vector<std::string> unknown = unknown_keys(known);
   if (unknown.empty()) return 0;
   for (const auto& key : unknown) {
-    os << "[warning: unknown flag --" << key << " ignored]\n";
+    os << "[warning: unknown flag --" << key << " ignored";
+    const std::string near = suggest(key, known);
+    if (!near.empty()) os << " (did you mean --" << near << "?)";
+    os << "]\n";
   }
   os << "[known flags:";
   for (const auto& key : known) os << " --" << key;

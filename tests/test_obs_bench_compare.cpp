@@ -1,0 +1,110 @@
+// Noise-aware BENCH_*.json comparison: a regression must trip only when a
+// metric moves beyond BOTH the k x MAD gate and the relative gate, in the
+// worse direction; schema violations must throw.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cts/obs/bench_compare.hpp"
+#include "cts/util/error.hpp"
+
+namespace obs = cts::obs;
+
+namespace {
+
+/// A minimal cts.bench.v1 document with one bench and one metric.
+std::string doc(double median, double mad) {
+  return std::string(R"({"schema":"cts.bench.v1","benches":{"fig9":)") +
+         R"({"metrics":{"wall_s":{"median":)" + std::to_string(median) +
+         R"(,"mad":)" + std::to_string(mad) + R"(}}}}})";
+}
+
+obs::CompareOptions wall_only() {
+  obs::CompareOptions options;
+  options.metrics = {"wall_s"};
+  return options;
+}
+
+TEST(RequireBenchSchema, AcceptsAndRejects) {
+  EXPECT_NO_THROW(obs::require_bench_schema(obs::json_parse(doc(1.0, 0.1))));
+  EXPECT_THROW(obs::require_bench_schema(obs::json_parse("[1,2]")),
+               cts::util::InvalidArgument);
+  EXPECT_THROW(obs::require_bench_schema(
+                   obs::json_parse(R"({"schema":"other.v9","benches":{}})")),
+               cts::util::InvalidArgument);
+  EXPECT_THROW(obs::require_bench_schema(
+                   obs::json_parse(R"({"schema":"cts.bench.v1"})")),
+               cts::util::InvalidArgument);
+}
+
+TEST(CompareBench, IdenticalFilesHaveNoRegression) {
+  const obs::JsonValue a = obs::json_parse(doc(1.0, 0.05));
+  const obs::CompareReport report =
+      obs::compare_bench_reports(a, a, wall_only());
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_FALSE(report.has_regression());
+  EXPECT_FALSE(report.deltas[0].improvement);
+  EXPECT_DOUBLE_EQ(report.deltas[0].rel, 0.0);
+}
+
+TEST(CompareBench, RegressionBeyondBothGates) {
+  // +50% with MAD 0.05: delta 0.5 > 3*0.05 and > 5% -> regression.
+  const obs::CompareReport report = obs::compare_bench_reports(
+      obs::json_parse(doc(1.0, 0.05)), obs::json_parse(doc(1.5, 0.05)),
+      wall_only());
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_TRUE(report.has_regression());
+  EXPECT_TRUE(report.deltas[0].regression);
+  EXPECT_NEAR(report.deltas[0].rel, 0.5, 1e-12);
+}
+
+TEST(CompareBench, NoiseWithinMadGateStaysQuiet) {
+  // +8% relative but within 3 x MAD (MAD 0.1 -> gate 0.3): not significant.
+  const obs::CompareReport report = obs::compare_bench_reports(
+      obs::json_parse(doc(1.0, 0.1)), obs::json_parse(doc(1.08, 0.1)),
+      wall_only());
+  EXPECT_FALSE(report.has_regression());
+}
+
+TEST(CompareBench, SmallRelativeChangeStaysQuietEvenWithTinyMad) {
+  // +2% with near-zero MAD: trips the MAD gate but not the 5% gate.
+  const obs::CompareReport report = obs::compare_bench_reports(
+      obs::json_parse(doc(1.0, 0.0001)), obs::json_parse(doc(1.02, 0.0001)),
+      wall_only());
+  EXPECT_FALSE(report.has_regression());
+}
+
+TEST(CompareBench, ImprovementNeverFails) {
+  const obs::CompareReport report = obs::compare_bench_reports(
+      obs::json_parse(doc(1.5, 0.05)), obs::json_parse(doc(1.0, 0.05)),
+      wall_only());
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_FALSE(report.has_regression());
+  EXPECT_TRUE(report.deltas[0].improvement);
+}
+
+TEST(CompareBench, ThresholdsAreConfigurable) {
+  // +8% within default gates becomes a regression at k=0.5, pct=2%.
+  obs::CompareOptions tight = wall_only();
+  tight.k_mad = 0.5;
+  tight.min_rel = 0.02;
+  const obs::CompareReport report = obs::compare_bench_reports(
+      obs::json_parse(doc(1.0, 0.1)), obs::json_parse(doc(1.08, 0.1)), tight);
+  EXPECT_TRUE(report.has_regression());
+}
+
+TEST(CompareBench, MissingBenchesAreNotedNotFatal) {
+  const std::string two_benches =
+      R"({"schema":"cts.bench.v1","benches":{)"
+      R"("fig9":{"metrics":{"wall_s":{"median":1.0,"mad":0.1}}},)"
+      R"("table1":{"metrics":{"wall_s":{"median":0.5,"mad":0.01}}}}})";
+  const obs::CompareReport report = obs::compare_bench_reports(
+      obs::json_parse(two_benches), obs::json_parse(doc(1.0, 0.1)),
+      wall_only());
+  EXPECT_FALSE(report.has_regression());
+  ASSERT_EQ(report.notes.size(), 1u);
+  EXPECT_NE(report.notes[0].find("table1"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+// Robust summary statistics used by cts_benchd: median, MAD and the
+// t-corrected normal-approximation CI for the median.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cts/obs/bench_stats.hpp"
+
+namespace obs = cts::obs;
+
+namespace {
+
+TEST(MedianOf, OddEvenEmpty) {
+  EXPECT_DOUBLE_EQ(obs::median_of({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(obs::median_of({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(obs::median_of({7.5}), 7.5);
+  EXPECT_DOUBLE_EQ(obs::median_of({}), 0.0);
+}
+
+TEST(RobustSummary, KnownValues) {
+  // median 3, deviations {2,1,0,1,2} -> MAD 1.
+  const obs::RobustSummary s = obs::robust_summary({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.mad, 1.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_LT(s.ci95_lo, 3.0);
+  EXPECT_GT(s.ci95_hi, 3.0);
+  EXPECT_DOUBLE_EQ(s.ci95_hi - s.median, s.median - s.ci95_lo);
+}
+
+TEST(RobustSummary, MedianResistsOutliers) {
+  const obs::RobustSummary s =
+      obs::robust_summary({1.0, 1.1, 0.9, 1.0, 100.0});
+  EXPECT_DOUBLE_EQ(s.median, 1.0);
+  EXPECT_LE(s.mad, 0.2);
+  EXPECT_GT(s.mean, 10.0);  // the mean does not
+}
+
+TEST(RobustSummary, SingleSampleHasDegenerateCi) {
+  const obs::RobustSummary s = obs::robust_summary({4.2});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.median, 4.2);
+  EXPECT_DOUBLE_EQ(s.mad, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_lo, 4.2);
+  EXPECT_DOUBLE_EQ(s.ci95_hi, 4.2);
+}
+
+TEST(RobustSummary, ZeroSpreadHasZeroWidthCi) {
+  const obs::RobustSummary s = obs::robust_summary({2.0, 2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.mad, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_lo, 2.0);
+  EXPECT_DOUBLE_EQ(s.ci95_hi, 2.0);
+}
+
+TEST(RobustSummary, CiShrinksWithMoreRepeats) {
+  // Same alternating spread, more samples -> tighter interval.
+  std::vector<double> few;
+  std::vector<double> many;
+  for (int i = 0; i < 4; ++i) few.push_back(i % 2 == 0 ? 1.0 : 2.0);
+  for (int i = 0; i < 64; ++i) many.push_back(i % 2 == 0 ? 1.0 : 2.0);
+  const obs::RobustSummary a = obs::robust_summary(few);
+  const obs::RobustSummary b = obs::robust_summary(many);
+  EXPECT_LT(b.ci95_hi - b.ci95_lo, a.ci95_hi - a.ci95_lo);
+}
+
+}  // namespace

@@ -103,6 +103,24 @@ TEST(Flags, WarnUnknownPrintsWarningAndKnownList) {
   EXPECT_NE(os.str().find("--frames"), std::string::npos);
 }
 
+TEST(Flags, SuggestNamesTheNearestKnownFlag) {
+  const std::vector<std::string> known = {"csv", "trace", "metrics", "quiet"};
+  EXPECT_EQ(cu::Flags::suggest("metrcs", known), "metrics");
+  EXPECT_EQ(cu::Flags::suggest("trase", known), "trace");
+  EXPECT_EQ(cu::Flags::suggest("qt", known), "");       // too far from anything
+  EXPECT_EQ(cu::Flags::suggest("bananas", known), "");  // nothing plausible
+  EXPECT_EQ(cu::Flags::suggest("metrics", {}), "");
+}
+
+TEST(Flags, WarnUnknownSuggestsDidYouMean) {
+  const char* argv[] = {"prog", "--metrcs=out.json"};
+  cu::Flags flags(2, argv);
+  std::ostringstream os;
+  EXPECT_EQ(flags.warn_unknown(os, {"csv", "trace", "metrics", "quiet"}), 1u);
+  EXPECT_NE(os.str().find("unknown flag --metrcs"), std::string::npos);
+  EXPECT_NE(os.str().find("did you mean --metrics?"), std::string::npos);
+}
+
 TEST(Flags, WarnUnknownSilentWhenAllKnown) {
   const char* argv[] = {"prog", "--csv=out.csv"};
   cu::Flags flags(2, argv);

@@ -1,0 +1,183 @@
+// cts-benchcmp: noise-aware regression checker for BENCH_*.json files.
+//
+//   cts_benchcmp BASELINE.json CANDIDATE.json [--k=3] [--pct=5]
+//                [--metrics=wall_s,user_s,sys_s,max_rss_kb] [--quiet]
+//   cts_benchcmp --validate FILE.json
+//
+// Prints a per-metric delta table and exits 0 when the candidate holds the
+// baseline, 1 when at least one metric regresses beyond BOTH the k x MAD
+// noise gate and the pct%% relative gate (see cts/obs/bench_compare.hpp),
+// and 2 on usage or parse errors — so CI can gate on the exit code.
+// --validate only runs the strict RFC 8259 validator over one file.
+//
+// Note: pass value flags in --key=value form; positional file arguments
+// that follow a bare boolean flag would otherwise be consumed as its value.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cts/obs/bench_compare.hpp"
+#include "cts/obs/json.hpp"
+#include "cts/util/flags.hpp"
+#include "cts/util/table.hpp"
+
+namespace obs = cts::obs;
+namespace cu = cts::util;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void usage() {
+  std::printf(
+      "usage: cts_benchcmp BASELINE.json CANDIDATE.json [--k=3] [--pct=5]\n"
+      "                    [--metrics=wall_s,user_s,...] [--quiet]\n"
+      "       cts_benchcmp --validate FILE.json\n\n"
+      "Exit codes: 0 no regression, 1 regression beyond threshold, 2 "
+      "usage/parse error.\n");
+}
+
+/// Tokens not consumed by the flag parser, mirroring Flags' rule that a
+/// bare "--key" followed by a non-flag token takes it as its value.
+std::vector<std::string> positionals(int argc, char** argv) {
+  std::vector<std::string> out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      if (token.find('=') == std::string::npos && i + 1 < argc &&
+          std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        ++i;  // "--key value"
+      }
+      continue;
+    }
+    out.push_back(token);
+  }
+  return out;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string item;
+  std::stringstream ss(s);
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::string pct(double rel) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", rel * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const cu::Flags flags(argc, argv);
+    if (flags.get_bool("help", false)) {
+      usage();
+      return 0;
+    }
+    flags.warn_unknown(std::cerr,
+                       {"k", "pct", "metrics", "quiet", "validate", "help"});
+    const bool quiet = flags.get_bool("quiet", false);
+    const std::vector<std::string> files = positionals(argc, argv);
+
+    if (flags.has("validate")) {
+      // --validate FILE or --validate=FILE.
+      std::string path = flags.get_string("validate", "");
+      if (path == "true" || path.empty()) {
+        if (files.empty()) {
+          usage();
+          return 2;
+        }
+        path = files.front();
+      }
+      const std::string text = read_file(path);
+      if (text.empty()) {
+        std::fprintf(stderr, "cts_benchcmp: cannot read %s\n", path.c_str());
+        return 2;
+      }
+      std::string error;
+      if (!obs::json_parse_check(text, &error)) {
+        std::fprintf(stderr, "cts_benchcmp: %s: invalid JSON: %s\n",
+                     path.c_str(), error.c_str());
+        return 2;
+      }
+      if (!quiet) std::printf("%s: valid JSON\n", path.c_str());
+      return 0;
+    }
+
+    if (files.size() != 2) {
+      usage();
+      return 2;
+    }
+    obs::CompareOptions options;
+    options.k_mad = flags.get_double("k", options.k_mad);
+    options.min_rel = flags.get_double("pct", options.min_rel * 100.0) / 100.0;
+    if (flags.has("metrics")) {
+      options.metrics = split_csv(flags.get_string("metrics", ""));
+    }
+
+    obs::JsonValue baseline;
+    obs::JsonValue candidate;
+    for (int i = 0; i < 2; ++i) {
+      const std::string text = read_file(files[static_cast<std::size_t>(i)]);
+      if (text.empty()) {
+        std::fprintf(stderr, "cts_benchcmp: cannot read %s\n",
+                     files[static_cast<std::size_t>(i)].c_str());
+        return 2;
+      }
+      (i == 0 ? baseline : candidate) = obs::json_parse(text);
+    }
+
+    const obs::CompareReport report =
+        obs::compare_bench_reports(baseline, candidate, options);
+
+    if (!quiet) {
+      cu::TextTable table(
+          {"bench", "metric", "baseline", "candidate", "delta", "verdict"});
+      for (const obs::MetricDelta& d : report.deltas) {
+        table.add_row({d.bench, d.metric,
+                       cu::format_sci(d.baseline_median, 4),
+                       cu::format_sci(d.candidate_median, 4), pct(d.rel),
+                       d.regression
+                           ? "REGRESSION"
+                           : (d.improvement ? "improvement" : "ok")});
+      }
+      std::printf("%s\n", table.render().c_str());
+      for (const std::string& note : report.notes) {
+        std::printf("[note: %s]\n", note.c_str());
+      }
+    }
+
+    if (report.has_regression()) {
+      for (const obs::MetricDelta& d : report.deltas) {
+        if (!d.regression) continue;
+        std::fprintf(stderr,
+                     "REGRESSION: %s %s %s (median %.6g -> %.6g, > %.1f x "
+                     "MAD and > %.1f%%)\n",
+                     d.bench.c_str(), d.metric.c_str(), pct(d.rel).c_str(),
+                     d.baseline_median, d.candidate_median, options.k_mad,
+                     options.min_rel * 100.0);
+      }
+      return 1;
+    }
+    if (!quiet) std::printf("no regressions beyond threshold\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cts_benchcmp: %s\n", e.what());
+    return 2;
+  }
+}
