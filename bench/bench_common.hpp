@@ -37,6 +37,8 @@
 #include "cts/obs/trace.hpp"
 #include "cts/sim/curves.hpp"
 #include "cts/sim/replication.hpp"
+#include "cts/sim/shard.hpp"
+#include "cts/util/error.hpp"
 #include "cts/util/csv.hpp"
 #include "cts/util/flags.hpp"
 #include "cts/util/table.hpp"
@@ -104,8 +106,8 @@ class ObsGuard {
   ObsGuard(const cts::util::Flags& flags, std::string run_id,
            std::vector<std::string> extra_known = {})
       : flags_(flags), run_id_(std::move(run_id)) {
-    std::vector<std::string> known = {"csv",  "trace", "metrics",
-                                      "perf", "quiet", "help"};
+    std::vector<std::string> known = {"csv",   "trace",     "metrics", "perf",
+                                      "shard", "shard-out", "quiet",   "help"};
     known.insert(known.end(), extra_known.begin(), extra_known.end());
     if (flags_.get_bool("help", false)) {
       print_help(extra_known);
@@ -113,6 +115,26 @@ class ObsGuard {
     }
     flags_.warn_unknown(std::cerr, known);
     if (flags_.get_bool("quiet", false)) cts::obs::force_quiet(true);
+    if (flags_.has("shard") || flags_.has("shard-out")) {
+      // --shard=I/N routes through the REPRO_SHARD environment override so
+      // every bench_scale() call in the bench body picks it up; --shard-out
+      // (default <run_id>_shard.json) arms the global ShardRecorder, which
+      // run_replicated feeds and write_reports() drains into a cts.shard.v1
+      // file.  --shard-out alone records a degenerate 0/1 "shard" — the
+      // single-process reference file the merge tests diff against.
+      if (flags_.has("shard")) {
+        const std::string spec_text = flags_.get_string("shard", "0/1");
+        try {
+          (void)cts::sim::parse_shard_spec(spec_text);
+        } catch (const cts::util::InvalidArgument& e) {
+          std::fprintf(stderr, "%s: --shard: %s\n", run_id_.c_str(), e.what());
+          std::exit(2);
+        }
+        ::setenv("REPRO_SHARD", spec_text.c_str(), 1);
+      }
+      shard_path_ = flags_.get_string("shard-out", run_id_ + "_shard.json");
+      cts::sim::ShardRecorder::global().enable(shard_path_);
+    }
     if (flags_.has("trace")) {
       trace_path_ = flags_.get_string("trace", run_id_ + "_trace.json");
       cts::obs::TraceRecorder::global().enable();
@@ -155,6 +177,12 @@ class ObsGuard {
         "  --perf=PATH     write the cts.perf.v1 report (rusage, hw "
         "counters, span self-times)\n");
     std::printf(
+        "  --shard=I/N     run only replication shard I of N (REPRO_SHARD "
+        "equivalent)\n");
+    std::printf(
+        "  --shard-out=PATH  write this worker's cts.shard.v1 file (default "
+        "<run_id>_shard.json)\n");
+    std::printf(
         "  --quiet         suppress the stderr progress line (CTS_QUIET=1 "
         "equivalent)\n");
     std::printf("  --help          print this flag list and exit\n");
@@ -166,7 +194,7 @@ class ObsGuard {
     }
     std::printf(
         "environment: REPRO_FULL=1 (paper scale), REPRO_REPS / REPRO_FRAMES "
-        "(scale overrides), CTS_QUIET=1\n");
+        "(scale overrides), REPRO_SHARD=I/N, CTS_QUIET=1\n");
   }
 
   void write_reports() {
@@ -187,7 +215,13 @@ class ObsGuard {
       report.set("replications", static_cast<std::uint64_t>(scale.replications));
       report.set("frames_per_replication", scale.frames_per_replication);
       report.set("warmup_frames", scale.warmup_frames);
+      // An exact uint64 echo: the registry's master_seed_hi/lo gauges carry
+      // the same value for consumers that only see the metrics section.
       report.set("master_seed", scale.master_seed);
+      if (scale.shard_count > 1) {
+        report.set("shard", cts::sim::format_shard_spec(
+                                {scale.shard_index, scale.shard_count}));
+      }
       report.set("hardware_concurrency",
                  static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
       if (report.write(metrics_path_)) {
@@ -205,6 +239,16 @@ class ObsGuard {
         std::printf("[warning: could not write trace to %s]\n",
                     trace_path_.c_str());
       }
+    }
+    if (!shard_path_.empty()) {
+      cts::sim::ShardRecorder& shards = cts::sim::ShardRecorder::global();
+      if (shards.write()) {
+        std::printf("[shard file written to %s]\n", shard_path_.c_str());
+      } else {
+        std::printf("[warning: could not write shard file to %s]\n",
+                    shard_path_.c_str());
+      }
+      shards.disable();
     }
     if (!perf_path_.empty()) {
       cts::obs::PerfReport report;
@@ -234,6 +278,7 @@ class ObsGuard {
   std::string trace_path_;
   std::string metrics_path_;
   std::string perf_path_;
+  std::string shard_path_;
   std::int64_t main_start_us_ = 0;
   std::optional<cts::obs::ResourceProbe> probe_;
   std::unique_ptr<cts::obs::PerfCounterGroup> counters_;
@@ -241,6 +286,19 @@ class ObsGuard {
 
 inline cts::sim::ReplicationConfig ObsGuard::bench_scale_echo() {
   return bench_scale();
+}
+
+/// Prints the shard-slice note under the scale line when the resolved
+/// scale is sharded (--shard / REPRO_SHARD), so a worker's log says which
+/// global replications it actually ran.
+inline void shard_note(const cts::sim::ReplicationConfig& scale) {
+  if (scale.shard_count <= 1) return;
+  const std::size_t lo =
+      scale.replications * scale.shard_index / scale.shard_count;
+  const std::size_t hi =
+      scale.replications * (scale.shard_index + 1) / scale.shard_count;
+  std::printf("[shard %zu/%zu: global replications [%zu, %zu)]\n",
+              scale.shard_index, scale.shard_count, lo, hi);
 }
 
 /// Prints the standard bench banner (figure id + scale note).

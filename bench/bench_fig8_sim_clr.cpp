@@ -52,8 +52,10 @@ int main(int argc, char** argv) {
 
   const cm::MuxGeometry g = bench::paper_mux_30();
   const cm::ReplicationConfig scale = bench::bench_scale();
-  std::printf("[scale: %zu reps x %llu frames]\n\n", scale.replications,
+  std::printf("[scale: %zu reps x %llu frames]\n", scale.replications,
               static_cast<unsigned long long>(scale.frames_per_replication));
+  bench::shard_note(scale);
+  std::printf("\n");
   const std::vector<double> grid = {1e-6, 2.0, 4.0, 8.0, 16.0, 30.0};
 
   // The V^v family's ON/OFF transition rate grows steeply with v (A ~

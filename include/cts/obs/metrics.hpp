@@ -25,6 +25,9 @@
 
 namespace cts::obs {
 
+class JsonWriter;
+struct JsonValue;
+
 /// How a gauge combines multiple writes (and shard merges).
 enum class GaugeMode {
   kSet,  ///< last write wins (configuration echo: thread count, seed)
@@ -77,6 +80,13 @@ class HistogramCell {
   /// (0.1 ms .. 100 s).
   static std::vector<double> default_edges();
 
+  /// Rebuilds a histogram from serialized state; throws InvalidArgument
+  /// when `buckets` does not have edges.size() + 1 entries or the edges
+  /// are invalid.
+  static HistogramCell from_state(std::vector<double> edges,
+                                  std::vector<std::uint64_t> buckets,
+                                  util::MomentAccumulator stats);
+
  private:
   std::vector<double> edges_;
   std::vector<std::uint64_t> buckets_;  ///< edges_.size() + 1 entries
@@ -104,6 +114,13 @@ class MetricsShard {
 
   /// Folds `other` into this shard.
   void merge(const MetricsShard& other);
+
+  /// Restore entry points for snapshot import (see
+  /// metrics_snapshot_from_json): install a deserialized cell verbatim,
+  /// replacing any existing entry of the same name.
+  void restore_sum(const std::string& name, util::CompensatedSum sum);
+  void restore_gauge(const std::string& name, GaugeCell cell);
+  void restore_histogram(const std::string& name, HistogramCell cell);
 
   bool empty() const noexcept;
 
@@ -160,6 +177,10 @@ class MetricsRegistry {
   /// Merges a worker shard under one lock.
   void merge(const MetricsShard& shard);
 
+  /// Copies the full registry contents (for cross-process serialization;
+  /// see write_metrics_snapshot / metrics_snapshot_from_json).
+  MetricsShard snapshot() const;
+
   std::uint64_t counter(const std::string& name) const;  ///< 0 when absent
   double sum(const std::string& name) const;             ///< 0 when absent
   double gauge_value(const std::string& name, double fallback = 0.0) const;
@@ -179,5 +200,24 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   MetricsShard data_;
 };
+
+/// Emits `shard` as one JSON object carrying the FULL merge state —
+/// Kahan compensation terms, gauge combine modes, histogram moment terms —
+/// unlike MetricsRegistry::write_json, which emits the human/report view:
+///
+///   {"counters":{name:N},
+///    "sums":{name:{"value":V,"compensation":C}},
+///    "gauges":{name:{"value":V,"mode":"set"|"max"}},
+///    "histograms":{name:{"edges":[..],"buckets":[..],
+///                        "count":N,"mean":M,"m2":S,"min":L,"max":H}}}
+///
+/// A snapshot written on one process and imported on another merges
+/// exactly as if the two registries had lived in one process (doubles are
+/// serialized at full round-trip precision).
+void write_metrics_snapshot(JsonWriter& w, const MetricsShard& shard);
+
+/// Parses a snapshot produced by write_metrics_snapshot back into a shard.
+/// Throws util::InvalidArgument on schema violations.
+MetricsShard metrics_snapshot_from_json(const JsonValue& v);
 
 }  // namespace cts::obs

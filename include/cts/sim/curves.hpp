@@ -65,8 +65,18 @@ struct SimulatedCurve {
   std::vector<double> clr;         ///< pooled CLR estimates
   std::vector<double> ci_low;      ///< replication CI bounds (mean-based)
   std::vector<double> ci_high;
-  std::uint64_t total_frames = 0;
+  std::uint64_t total_frames = 0;  ///< measured frames in this worker's slice
+  std::size_t replications = 0;    ///< GLOBAL replication count (all shards)
 };
+
+/// The exact ReplicationConfig that simulated_clr_curve runs for `model`
+/// over the buffer grid: `scale` with the label, geometry and buffer grid
+/// (converted to cells) filled in.  Exposed so the shard merger and the
+/// tests can reconstruct a curve's configuration without re-deriving the
+/// conversion.
+ReplicationConfig replication_config_for_grid(
+    const fit::ModelSpec& model, const MuxGeometry& geometry,
+    const std::vector<double>& buffer_ms, const ReplicationConfig& scale);
 
 /// Runs the replication harness for `model` over the buffer grid.
 SimulatedCurve simulated_clr_curve(const fit::ModelSpec& model,

@@ -5,6 +5,15 @@
 // across a thread pool.  Seeds are derived deterministically from
 // (master_seed, replication index, source index), so the results are
 // bit-identical for any thread count.
+//
+// Replications can additionally be sharded across worker PROCESSES: a
+// worker configured as shard i of n runs only the replications whose
+// global index falls in its contiguous slice [i*R/n, (i+1)*R/n).  Seeds
+// still derive from the global index, and aggregate_replications consumes
+// per-replication tallies in ascending global order, so merging the n
+// shard slices reproduces the single-process ReplicationResult bit for
+// bit (see cts/sim/shard.hpp for the cts.shard.v1 file format and the
+// merge entry points used by tools/cts_simd).
 
 #pragma once
 
@@ -21,7 +30,7 @@ namespace cts::sim {
 
 /// Configuration of a replication experiment.
 struct ReplicationConfig {
-  std::size_t replications = 12;
+  std::size_t replications = 12;  ///< GLOBAL replication count, all shards
   std::uint64_t frames_per_replication = 120000;
   std::uint64_t warmup_frames = 2000;
   std::size_t n_sources = 30;
@@ -30,6 +39,11 @@ struct ReplicationConfig {
   std::vector<double> bop_thresholds_cells;
   std::uint64_t master_seed = 0x5EEDC0DEULL;
   unsigned threads = 0;  ///< 0 = hardware concurrency
+  /// Process-level sharding: this worker runs global replication indices
+  /// in [shard_index*R/shard_count, (shard_index+1)*R/shard_count).  The
+  /// default 0/1 runs everything (single-process mode).
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
   /// Label shown on the stderr progress line; empty = "sim".
   std::string progress_label;
   /// Progress reporting opt-out for library callers (the reporter itself
@@ -51,18 +65,42 @@ struct BopEstimate {
   double pooled_bop = 0.0;
 };
 
-/// Full result of a replication experiment.
+/// One replication's raw fluid-mux tallies, tagged with its GLOBAL
+/// replication index so shard slices can be merged in canonical order.
+struct ReplicationSample {
+  std::uint64_t rep = 0;  ///< global replication index
+  FluidRunResult run;
+};
+
+/// Full result of a replication experiment.  For a sharded run this covers
+/// only the worker's slice; merging all slices (cts/sim/shard.hpp)
+/// reproduces the single-process result exactly.
 struct ReplicationResult {
   std::vector<ClrEstimate> clr;
   std::vector<BopEstimate> bop;
   double total_arrived_cells = 0.0;
   std::uint64_t total_frames = 0;
+  /// Raw per-replication tallies (ascending global index) — the shard
+  /// serialization payload, and what aggregate_replications consumes.
+  std::vector<ReplicationSample> samples;
 };
 
 /// Runs `config.replications` independent fluid-mux runs of N i.i.d. copies
-/// of `model` and aggregates the tallies.
+/// of `model` and aggregates the tallies.  With shard_count > 1 only this
+/// worker's slice is run (and recorded into the global ShardRecorder when
+/// one is enabled).
 ReplicationResult run_replicated(const fit::ModelSpec& model,
                                  const ReplicationConfig& config);
+
+/// Aggregates per-replication tallies into estimates: replication CIs from
+/// the per-rep CLR/BOP samples, pooled CLR/BOP from the summed tallies.
+/// `samples` must be ordered ascending by global index; both run_replicated
+/// and the shard merger call this, which is what makes any shard layout
+/// bit-identical to a single-process run.
+ReplicationResult aggregate_replications(
+    const std::vector<double>& buffer_sizes_cells,
+    const std::vector<double>& bop_thresholds_cells,
+    std::vector<ReplicationSample> samples);
 
 /// Scale presets: `paper_scale()` reproduces the paper's 60 x 500k frames;
 /// `default_scale()` is the CI-friendly default.  REPRO_FULL=1 in the
@@ -70,8 +108,9 @@ ReplicationResult run_replicated(const fit::ModelSpec& model,
 ReplicationConfig default_scale();
 ReplicationConfig paper_scale();
 
-/// Applies REPRO_FULL / REPRO_REPS / REPRO_FRAMES environment overrides to
-/// a base configuration.
+/// Applies REPRO_FULL / REPRO_REPS / REPRO_FRAMES / REPRO_SHARD environment
+/// overrides to a base configuration.  Malformed or out-of-range values
+/// throw util::InvalidArgument naming the variable and the offending value.
 ReplicationConfig apply_env_overrides(ReplicationConfig config);
 
 }  // namespace cts::sim

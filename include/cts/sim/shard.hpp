@@ -1,0 +1,140 @@
+// Process-level replication sharding: the cts.shard.v1 file format and its
+// write/parse/merge entry points.
+//
+// A worker process configured as shard i of n runs only its contiguous
+// slice of global replication indices (see cts/sim/replication.hpp) and
+// serializes what the merger needs to reconstruct the single-process
+// result exactly:
+//
+//   {"schema":"cts.shard.v1",
+//    "shard":{"index":i,"count":n},
+//    "experiments":[{"label":...,
+//                    "config":{...,"master_seed":"<decimal string>",...},
+//                    "reps":[{"rep":g,"frames":F,"arrived_cells":A,
+//                             "clr":[{"buffer_cells":B,"lost_cells":L,
+//                                     "loss_frames":K},...],
+//                             "bop":[{"threshold_cells":T,
+//                                     "exceed_frames":E},...],
+//                             "peak_workload_cells":P},...]},...],
+//    "metrics":{<lossless registry snapshot, see cts/obs/metrics.hpp>}}
+//
+// All doubles are serialized at full round-trip precision (%.17g) and the
+// master seed as a decimal string, so merging the n shard files through
+// aggregate_replications — samples ordered by global replication index —
+// is bit-identical to a single-process run at the same seed and scale.
+// tools/cts_simd is the orchestrator: it fork/execs the worker shards,
+// merges their files, and emits the merged --metrics report.
+
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cts/obs/metrics.hpp"
+#include "cts/sim/replication.hpp"
+
+namespace cts::sim {
+
+/// A worker's position in the shard layout: index in [0, count).
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+};
+
+/// Parses "I/N" (e.g. "0/4") into a ShardSpec; throws util::InvalidArgument
+/// naming the offending value unless 0 <= I < N with a full-string parse.
+ShardSpec parse_shard_spec(const std::string& text);
+
+/// Formats a spec back to "I/N".
+std::string format_shard_spec(const ShardSpec& spec);
+
+/// One replication experiment as recorded by a worker: the configuration
+/// it ran under (shard fields included) and its slice of per-replication
+/// tallies, ascending by global index.
+struct ShardExperiment {
+  std::string label;
+  ReplicationConfig config;
+  std::vector<ReplicationSample> samples;
+};
+
+/// Parsed contents of one cts.shard.v1 file.
+struct ShardFile {
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::vector<ShardExperiment> experiments;
+  obs::MetricsShard metrics;
+};
+
+/// Serializes `file` as a cts.shard.v1 JSON document.
+void write_shard_json(std::ostream& os, const ShardFile& file);
+
+/// Parses a cts.shard.v1 document; throws util::InvalidArgument on schema
+/// or consistency violations (including a wrong "schema" field).
+ShardFile parse_shard_file(const std::string& text);
+
+/// Reads and parses `path`; throws util::InvalidArgument when unreadable.
+ShardFile read_shard_file(const std::string& path);
+
+/// One experiment recomputed from all shards.
+struct MergedExperiment {
+  std::string label;
+  ReplicationConfig config;  ///< shard fields normalized back to 0/1
+  ReplicationResult result;  ///< identical to a single-process run
+};
+
+/// Result of merging a complete shard set.
+struct MergedShards {
+  std::size_t shard_count = 1;
+  std::vector<MergedExperiment> experiments;
+  obs::MetricsShard metrics;  ///< registries folded in shard-index order
+};
+
+/// Merges a complete set of shard files (every index 0..n-1 exactly once,
+/// matching experiment lists and configurations; a single file with
+/// count == 1 is the degenerate single-process case).  Replication CIs are
+/// recomputed from the pooled per-rep samples and pooled CLR/BOP from the
+/// summed tallies via aggregate_replications, so the merged result is
+/// bit-identical to a single-process run.  Throws util::InvalidArgument on
+/// an incomplete or inconsistent shard set.
+MergedShards merge_shard_files(const std::vector<ShardFile>& shards);
+
+/// Process-global recorder that collects every run_replicated invocation's
+/// per-replication tallies while enabled, then serializes them (plus a
+/// registry snapshot taken at write time) as one cts.shard.v1 file.  The
+/// bench ObsGuard enables it when --shard / --shard-out is passed and
+/// writes the file at exit.
+class ShardRecorder {
+ public:
+  static ShardRecorder& global();
+
+  /// Starts recording; experiments recorded so far are discarded.
+  void enable(std::string out_path);
+  /// Stops recording and discards state (tests; between harness phases).
+  void disable();
+  bool enabled() const;
+  std::string path() const;
+
+  /// Appends one experiment (called by run_replicated when enabled); the
+  /// label is taken from config.progress_label ("run" when empty).
+  void record(const ReplicationConfig& config,
+              const std::vector<ReplicationSample>& samples);
+
+  /// Writes the cts.shard.v1 file with a snapshot of `registry`; returns
+  /// false on I/O failure.  The recorder stays enabled (ObsGuard calls
+  /// disable() afterwards).
+  bool write(const obs::MetricsRegistry& registry =
+                 obs::MetricsRegistry::global()) const;
+
+ private:
+  ShardRecorder() = default;
+
+  mutable std::mutex mu_;
+  bool enabled_ = false;
+  std::string path_;
+  std::vector<ShardExperiment> experiments_;
+};
+
+}  // namespace cts::sim

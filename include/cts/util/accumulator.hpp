@@ -62,6 +62,25 @@ class MomentAccumulator {
                       : 0.0;
   }
 
+  /// Raw sum of squared deviations (the Welford M2 term), exposed so a
+  /// snapshot can serialize the accumulator losslessly and merge it later.
+  double m2() const noexcept { return m2_; }
+
+  /// Rebuilds an accumulator from serialized state.  A zero count yields a
+  /// default (empty) accumulator regardless of the other fields.
+  static MomentAccumulator from_state(std::uint64_t count, double mean,
+                                      double m2, double min,
+                                      double max) noexcept {
+    MomentAccumulator acc;
+    if (count == 0) return acc;
+    acc.count_ = count;
+    acc.mean_ = mean;
+    acc.m2_ = m2;
+    acc.min_ = min;
+    acc.max_ = max;
+    return acc;
+  }
+
  private:
   std::uint64_t count_ = 0;
   double mean_ = 0.0;
@@ -87,6 +106,17 @@ class CompensatedSum {
   }
 
   double value() const noexcept { return sum_; }
+
+  /// Running Kahan compensation term, exposed for lossless serialization.
+  double compensation() const noexcept { return compensation_; }
+
+  /// Rebuilds a sum from serialized state (exact, including compensation).
+  static CompensatedSum from_state(double sum, double compensation) noexcept {
+    CompensatedSum out;
+    out.sum_ = sum;
+    out.compensation_ = compensation;
+    return out;
+  }
 
  private:
   double sum_ = 0.0;

@@ -57,8 +57,10 @@ class Flags {
 /// ("1", "true", "yes", "on", case-insensitive).
 bool env_flag(const std::string& name);
 
-/// Reads an integer environment variable, returning `fallback` when unset
-/// or unparsable.
+/// Reads an integer environment variable, returning `fallback` when unset.
+/// A set-but-malformed value (partial parse like "12abc", overflow, empty)
+/// throws InvalidArgument naming the variable and the offending value —
+/// a typo'd override must never silently run at the wrong scale.
 std::int64_t env_int(const std::string& name, std::int64_t fallback);
 
 }  // namespace cts::util

@@ -43,6 +43,17 @@ std::vector<double> HistogramCell::default_edges() {
           1e3, 3e3, 1e4, 3e4, 1e5};
 }
 
+HistogramCell HistogramCell::from_state(std::vector<double> edges,
+                                        std::vector<std::uint64_t> buckets,
+                                        util::MomentAccumulator stats) {
+  HistogramCell cell(std::move(edges));
+  util::require(buckets.size() == cell.edges_.size() + 1,
+                "HistogramCell: snapshot bucket count does not match edges");
+  cell.buckets_ = std::move(buckets);
+  cell.stats_ = stats;
+  return cell;
+}
+
 // ---------------------------------------------------------------------------
 // MetricsShard
 
@@ -78,6 +89,20 @@ void MetricsShard::merge(const MetricsShard& other) {
   for (const auto& [name, s] : other.sums_) sums_[name].merge(s);
   for (const auto& [name, g] : other.gauges_) gauges_[name].merge(g);
   for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
+}
+
+void MetricsShard::restore_sum(const std::string& name,
+                               util::CompensatedSum sum) {
+  sums_[name] = sum;
+}
+
+void MetricsShard::restore_gauge(const std::string& name, GaugeCell cell) {
+  gauges_[name] = cell;
+}
+
+void MetricsShard::restore_histogram(const std::string& name,
+                                     HistogramCell cell) {
+  histograms_.insert_or_assign(name, std::move(cell));
 }
 
 bool MetricsShard::empty() const noexcept {
@@ -118,6 +143,11 @@ void MetricsRegistry::merge(const MetricsShard& shard) {
   if (shard.empty()) return;
   const std::lock_guard<std::mutex> lock(mu_);
   data_.merge(shard);
+}
+
+MetricsShard MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return data_;
 }
 
 std::uint64_t MetricsRegistry::counter(const std::string& name) const {
@@ -204,6 +234,111 @@ void MetricsRegistry::write_json(std::ostream& os) const {
 void MetricsRegistry::reset() {
   const std::lock_guard<std::mutex> lock(mu_);
   data_ = MetricsShard();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot serialization
+
+void write_metrics_snapshot(JsonWriter& w, const MetricsShard& shard) {
+  w.begin_object();
+
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : shard.counters()) w.key(name).value(v);
+  w.end_object();
+
+  w.key("sums").begin_object();
+  for (const auto& [name, s] : shard.sums()) {
+    w.key(name).begin_object();
+    w.key("value").value(s.value());
+    w.key("compensation").value(s.compensation());
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : shard.gauges()) {
+    w.key(name).begin_object();
+    w.key("value").value(g.value);
+    w.key("mode").value(g.mode == GaugeMode::kMax ? "max" : "set");
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : shard.histograms()) {
+    const util::MomentAccumulator& st = h.stats();
+    w.key(name).begin_object();
+    w.key("edges").begin_array();
+    for (const double e : h.edges()) w.value(e);
+    w.end_array();
+    w.key("buckets").begin_array();
+    for (const std::uint64_t b : h.buckets()) w.value(b);
+    w.end_array();
+    w.key("count").value(st.count());
+    // min/max are +-inf for an empty accumulator, which JSON cannot carry;
+    // from_state ignores every moment field when count is 0.
+    w.key("mean").value(st.count() > 0 ? st.mean() : 0.0);
+    w.key("m2").value(st.count() > 0 ? st.m2() : 0.0);
+    w.key("min").value(st.count() > 0 ? st.min() : 0.0);
+    w.key("max").value(st.count() > 0 ? st.max() : 0.0);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+}
+
+namespace {
+
+std::uint64_t as_uint(const JsonValue& v, const char* what) {
+  const double d = v.as_number();
+  util::require(d >= 0.0, std::string("metrics snapshot: ") + what +
+                              " must be non-negative");
+  return static_cast<std::uint64_t>(d);
+}
+
+}  // namespace
+
+MetricsShard metrics_snapshot_from_json(const JsonValue& v) {
+  util::require(v.is_object(), "metrics snapshot: expected an object");
+  MetricsShard shard;
+
+  for (const auto& [name, counter] : v.at("counters").members) {
+    shard.add(name, as_uint(counter, "counter"));
+  }
+  for (const auto& [name, sum] : v.at("sums").members) {
+    shard.restore_sum(name, util::CompensatedSum::from_state(
+                                sum.at("value").as_number(),
+                                sum.at("compensation").as_number()));
+  }
+  for (const auto& [name, gauge] : v.at("gauges").members) {
+    const std::string& mode = gauge.at("mode").as_string();
+    util::require(mode == "set" || mode == "max",
+                  "metrics snapshot: unknown gauge mode '" + mode + "'");
+    GaugeCell cell;
+    cell.value = gauge.at("value").as_number();
+    cell.mode = mode == "max" ? GaugeMode::kMax : GaugeMode::kSet;
+    cell.written = true;
+    shard.restore_gauge(name, cell);
+  }
+  for (const auto& [name, hist] : v.at("histograms").members) {
+    std::vector<double> edges;
+    for (const JsonValue& e : hist.at("edges").items) {
+      edges.push_back(e.as_number());
+    }
+    std::vector<std::uint64_t> buckets;
+    for (const JsonValue& b : hist.at("buckets").items) {
+      buckets.push_back(as_uint(b, "histogram bucket"));
+    }
+    const util::MomentAccumulator stats = util::MomentAccumulator::from_state(
+        as_uint(hist.at("count"), "histogram count"),
+        hist.at("mean").as_number(), hist.at("m2").as_number(),
+        hist.at("min").as_number(), hist.at("max").as_number());
+    shard.restore_histogram(
+        name, HistogramCell::from_state(std::move(edges), std::move(buckets),
+                                        stats));
+  }
+  return shard;
 }
 
 }  // namespace cts::obs

@@ -53,10 +53,9 @@ AnalyticCurve cts_curve(const fit::ModelSpec& model,
   return asymptotic_curve(model, geometry, buffer_ms, true);
 }
 
-SimulatedCurve simulated_clr_curve(const fit::ModelSpec& model,
-                                   const MuxGeometry& geometry,
-                                   const std::vector<double>& buffer_ms,
-                                   const ReplicationConfig& scale) {
+ReplicationConfig replication_config_for_grid(
+    const fit::ModelSpec& model, const MuxGeometry& geometry,
+    const std::vector<double>& buffer_ms, const ReplicationConfig& scale) {
   ReplicationConfig config = scale;
   config.progress_label = model.name;
   config.n_sources = geometry.n_sources;
@@ -65,12 +64,22 @@ SimulatedCurve simulated_clr_curve(const fit::ModelSpec& model,
   for (const double ms : buffer_ms) {
     config.buffer_sizes_cells.push_back(geometry.buffer_ms_to_cells(ms));
   }
+  return config;
+}
+
+SimulatedCurve simulated_clr_curve(const fit::ModelSpec& model,
+                                   const MuxGeometry& geometry,
+                                   const std::vector<double>& buffer_ms,
+                                   const ReplicationConfig& scale) {
+  const ReplicationConfig config =
+      replication_config_for_grid(model, geometry, buffer_ms, scale);
   const ReplicationResult result = run_replicated(model, config);
 
   SimulatedCurve curve;
   curve.model = model.name;
   curve.buffer_ms = buffer_ms;
   curve.total_frames = result.total_frames;
+  curve.replications = config.replications;
   for (const ClrEstimate& est : result.clr) {
     curve.clr.push_back(est.pooled_clr);
     curve.ci_low.push_back(std::max(est.clr.low(), 0.0));

@@ -2,11 +2,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <string>
 #include <thread>
 
 #include "cts/obs/metrics.hpp"
 #include "cts/obs/progress.hpp"
 #include "cts/obs/trace.hpp"
+#include "cts/sim/shard.hpp"
 #include "cts/util/error.hpp"
 #include "cts/util/flags.hpp"
 #include "cts/util/rng.hpp"
@@ -32,36 +35,68 @@ ReplicationResult run_replicated(const fit::ModelSpec& model,
                 "run_replicated: need at least one replication");
   util::require(config.n_sources >= 1,
                 "run_replicated: need at least one source");
+  util::require(config.shard_count >= 1,
+                "run_replicated: shard count must be >= 1");
+  util::require(config.shard_index < config.shard_count,
+                "run_replicated: shard index " +
+                    std::to_string(config.shard_index) +
+                    " out of range for " +
+                    std::to_string(config.shard_count) + " shards");
+  util::require(config.shard_count <= config.replications,
+                "run_replicated: " + std::to_string(config.shard_count) +
+                    " shards need at least as many replications (got " +
+                    std::to_string(config.replications) + ")");
 
   const std::size_t reps = config.replications;
-  std::vector<FluidRunResult> per_rep(reps);
+  // This worker's contiguous slice of global replication indices.
+  const std::size_t slice_lo = reps * config.shard_index / config.shard_count;
+  const std::size_t slice_hi =
+      reps * (config.shard_index + 1) / config.shard_count;
+  const std::size_t slice = slice_hi - slice_lo;
+  std::vector<FluidRunResult> per_rep(slice);
 
   unsigned threads = config.threads;
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min<unsigned>(threads, static_cast<unsigned>(reps));
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(slice));
 
   // Config echo into the registry: a --metrics report then records the
-  // exact seed/scale/threads that produced its tallies.
+  // exact seed/scale/threads that produced its tallies.  The seed is split
+  // into two 32-bit gauges because a double gauge silently rounds values
+  // >= 2^53 — a report must never claim a seed that does not reproduce the
+  // run.  Counters cover only this worker's slice so that merging all
+  // shard registries reproduces the single-process totals.
   obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
   registry.gauge("sim.threads", static_cast<double>(threads));
-  registry.gauge("sim.master_seed", static_cast<double>(config.master_seed));
-  registry.add("sim.replications", reps);
-  registry.add("sim.frames_total", reps * config.frames_per_replication);
+  registry.gauge("sim.master_seed_hi",
+                 static_cast<double>(config.master_seed >> 32));
+  registry.gauge("sim.master_seed_lo",
+                 static_cast<double>(config.master_seed & 0xFFFFFFFFULL));
+  if (config.shard_count > 1) {
+    registry.gauge("sim.shard.index", static_cast<double>(config.shard_index));
+    registry.gauge("sim.shard.count", static_cast<double>(config.shard_count));
+  }
+  registry.add("sim.replications", slice);
+  // Measured and warmup frames are separate totals: the progress reporter
+  // counts both, provenance needs them distinguished.
+  registry.add("sim.frames_total", slice * config.frames_per_replication);
+  registry.add("sim.warmup_frames_total", slice * config.warmup_frames);
 
   obs::ProgressReporter::Options popts;
   popts.label = config.progress_label.empty() ? "sim" : config.progress_label;
-  popts.total_units = reps;
+  popts.total_units = slice;
   popts.total_frames =
-      reps * (config.frames_per_replication + config.warmup_frames);
+      slice * (config.frames_per_replication + config.warmup_frames);
   popts.force_disable = !config.progress;
   obs::ProgressReporter reporter(std::move(popts));
 
-  std::atomic<std::size_t> next_rep{0};
+  std::atomic<std::size_t> next_local{0};
   auto worker = [&]() {
     while (true) {
-      const std::size_t rep = next_rep.fetch_add(1);
-      if (rep >= reps) return;
-      // Deterministic per-replication seed, independent of thread layout.
+      const std::size_t local = next_local.fetch_add(1);
+      if (local >= slice) return;
+      const std::size_t rep = slice_lo + local;  // global index
+      // Deterministic per-replication seed, derived from the GLOBAL
+      // replication index — independent of thread layout and shard layout.
       util::SplitMix64 seeder(config.master_seed +
                               0x9E3779B97F4A7C15ULL * (rep + 1));
       std::vector<std::unique_ptr<proc::FrameSource>> sources;
@@ -79,7 +114,7 @@ ReplicationResult run_replicated(const fit::ModelSpec& model,
       {
         CTS_TRACE_SPAN("replication");
         const auto t0 = std::chrono::steady_clock::now();
-        per_rep[rep] = FluidMux::run(sources, run);
+        per_rep[local] = FluidMux::run(sources, run);
         const double wall_ms =
             std::chrono::duration<double, std::milli>(
                 std::chrono::steady_clock::now() - t0)
@@ -97,15 +132,35 @@ ReplicationResult run_replicated(const fit::ModelSpec& model,
   for (auto& t : pool) t.join();
   reporter.finish();
 
-  // Aggregate.
+  std::vector<ReplicationSample> samples(slice);
+  for (std::size_t local = 0; local < slice; ++local) {
+    samples[local].rep = slice_lo + local;
+    samples[local].run = std::move(per_rep[local]);
+  }
+  ReplicationResult result = aggregate_replications(
+      config.buffer_sizes_cells, config.bop_thresholds_cells,
+      std::move(samples));
+
+  if (ShardRecorder::global().enabled()) {
+    ShardRecorder::global().record(config, result.samples);
+  }
+  return result;
+}
+
+ReplicationResult aggregate_replications(
+    const std::vector<double>& buffer_sizes_cells,
+    const std::vector<double>& bop_thresholds_cells,
+    std::vector<ReplicationSample> samples) {
+  util::require(!samples.empty(),
+                "aggregate_replications: need at least one sample");
   ReplicationResult result;
-  result.clr.resize(config.buffer_sizes_cells.size());
-  result.bop.resize(config.bop_thresholds_cells.size());
+  result.clr.resize(buffer_sizes_cells.size());
+  result.bop.resize(bop_thresholds_cells.size());
   for (std::size_t i = 0; i < result.clr.size(); ++i) {
-    result.clr[i].buffer_cells = config.buffer_sizes_cells[i];
+    result.clr[i].buffer_cells = buffer_sizes_cells[i];
   }
   for (std::size_t i = 0; i < result.bop.size(); ++i) {
-    result.bop[i].threshold_cells = config.bop_thresholds_cells[i];
+    result.bop[i].threshold_cells = bop_thresholds_cells[i];
   }
 
   double total_arrived = 0.0;
@@ -115,7 +170,12 @@ ReplicationResult run_replicated(const fit::ModelSpec& model,
   std::vector<double> lost_totals(result.clr.size(), 0.0);
   std::vector<double> exceed_totals(result.bop.size(), 0.0);
 
-  for (const FluidRunResult& run : per_rep) {
+  for (const ReplicationSample& sample : samples) {
+    const FluidRunResult& run = sample.run;
+    util::require(run.clr.size() == result.clr.size() &&
+                      run.bop.size() == result.bop.size(),
+                  "aggregate_replications: sample tally shape does not match "
+                  "the buffer/threshold grids");
     total_arrived += run.arrived_cells;
     total_frames += run.frames;
     for (std::size_t i = 0; i < run.clr.size(); ++i) {
@@ -141,6 +201,7 @@ ReplicationResult run_replicated(const fit::ModelSpec& model,
   }
   result.total_arrived_cells = total_arrived;
   result.total_frames = total_frames;
+  result.samples = std::move(samples);
   return result;
 }
 
@@ -167,11 +228,31 @@ ReplicationConfig apply_env_overrides(ReplicationConfig config) {
     config.frames_per_replication = full.frames_per_replication;
     config.warmup_frames = full.warmup_frames;
   }
-  config.replications = static_cast<std::size_t>(util::env_int(
-      "REPRO_REPS", static_cast<std::int64_t>(config.replications)));
-  config.frames_per_replication = static_cast<std::uint64_t>(util::env_int(
+  // env_int throws on malformed values; additionally validate the range
+  // here — a cast of -1 to unsigned would otherwise ask for ~2^64
+  // replications, and 0 would only fail deep inside run_replicated with a
+  // message that never mentions the environment variable.
+  const std::int64_t reps = util::env_int(
+      "REPRO_REPS", static_cast<std::int64_t>(config.replications));
+  util::require(reps >= 1, "env REPRO_REPS: need at least 1 replication, got "
+                               "'" + std::to_string(reps) + "'");
+  config.replications = static_cast<std::size_t>(reps);
+  const std::int64_t frames = util::env_int(
       "REPRO_FRAMES",
-      static_cast<std::int64_t>(config.frames_per_replication)));
+      static_cast<std::int64_t>(config.frames_per_replication));
+  util::require(frames >= 1,
+                "env REPRO_FRAMES: need at least 1 frame per replication, "
+                "got '" + std::to_string(frames) + "'");
+  config.frames_per_replication = static_cast<std::uint64_t>(frames);
+  if (const char* raw = std::getenv("REPRO_SHARD")) {
+    try {
+      const ShardSpec spec = parse_shard_spec(raw);
+      config.shard_index = spec.index;
+      config.shard_count = spec.count;
+    } catch (const util::InvalidArgument& e) {
+      throw util::InvalidArgument(std::string("env REPRO_SHARD: ") + e.what());
+    }
+  }
   return config;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 #include "cts/util/error.hpp"
@@ -158,11 +159,22 @@ bool env_flag(const std::string& name) {
 std::int64_t env_int(const std::string& name, std::int64_t fallback) {
   const char* raw = std::getenv(name.c_str());
   if (raw == nullptr) return fallback;
-  try {
-    return std::stoll(raw);
-  } catch (const std::exception&) {
-    return fallback;
+  // A set-but-malformed value is a user error, never a silent fallback:
+  // "REPRO_REPS=12abc" would otherwise run 12 replications (std::stoll
+  // accepts partial parses) and an overflowing value would silently run at
+  // default scale.  Require one full-string integer.
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') {
+    throw InvalidArgument("env " + name + ": expected an integer, got '" +
+                          raw + "'");
   }
+  if (errno == ERANGE) {
+    throw InvalidArgument("env " + name + ": value '" + raw +
+                          "' is out of range for a 64-bit integer");
+  }
+  return value;
 }
 
 }  // namespace cts::util

@@ -143,8 +143,34 @@ TEST(EnvFlag, ParsesTruthyValues) {
 TEST(EnvInt, ParsesWithFallback) {
   ::setenv("CTS_TEST_ENV_INT", "77", 1);
   EXPECT_EQ(cu::env_int("CTS_TEST_ENV_INT", 5), 77);
-  ::setenv("CTS_TEST_ENV_INT", "junk", 1);
-  EXPECT_EQ(cu::env_int("CTS_TEST_ENV_INT", 5), 5);
+  ::setenv("CTS_TEST_ENV_INT", "-3", 1);
+  EXPECT_EQ(cu::env_int("CTS_TEST_ENV_INT", 5), -3);
   ::unsetenv("CTS_TEST_ENV_INT");
   EXPECT_EQ(cu::env_int("CTS_TEST_ENV_INT", 5), 5);
+}
+
+TEST(EnvInt, RejectsMalformedValues) {
+  // A typo'd override must never silently run at the fallback scale.
+  ::setenv("CTS_TEST_ENV_INT", "junk", 1);
+  EXPECT_THROW(cu::env_int("CTS_TEST_ENV_INT", 5), cu::InvalidArgument);
+  ::setenv("CTS_TEST_ENV_INT", "12abc", 1);  // partial parse
+  EXPECT_THROW(cu::env_int("CTS_TEST_ENV_INT", 5), cu::InvalidArgument);
+  ::setenv("CTS_TEST_ENV_INT", "", 1);
+  EXPECT_THROW(cu::env_int("CTS_TEST_ENV_INT", 5), cu::InvalidArgument);
+  ::setenv("CTS_TEST_ENV_INT", "99999999999999999999999", 1);  // overflow
+  EXPECT_THROW(cu::env_int("CTS_TEST_ENV_INT", 5), cu::InvalidArgument);
+  ::unsetenv("CTS_TEST_ENV_INT");
+}
+
+TEST(EnvInt, ErrorNamesVariableAndValue) {
+  ::setenv("CTS_TEST_ENV_INT", "12abc", 1);
+  try {
+    cu::env_int("CTS_TEST_ENV_INT", 5);
+    FAIL() << "expected InvalidArgument";
+  } catch (const cu::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("CTS_TEST_ENV_INT"), std::string::npos);
+    EXPECT_NE(what.find("12abc"), std::string::npos);
+  }
+  ::unsetenv("CTS_TEST_ENV_INT");
 }

@@ -1,0 +1,403 @@
+// cts-simd: multi-process shard orchestrator for the replication benches.
+//
+//   cts_simd run BENCH_BINARY [--shards=N] [--out-dir=DIR] [--metrics=PATH]
+//                             [--keep-shards] [--quiet]
+//   cts_simd merge SHARD.json... [--metrics=PATH] [--quiet]
+//   cts_simd diff REPORT_A.json REPORT_B.json [--quiet]
+//
+// `run` fork/execs N worker shards of BENCH_BINARY (each gets
+// --shard=i/N --shard-out=<dir>/shard_i.json --quiet, stdout/stderr to
+// <dir>/shard_i.log), waits for all of them, merges the shard files and
+// writes the merged --metrics run report.  Replication scale still comes
+// from the environment (REPRO_FULL / REPRO_REPS / REPRO_FRAMES), which the
+// workers inherit.  `merge` does the same for pre-written cts.shard.v1
+// files (e.g. collected from separate machines).  `diff` compares the
+// metrics sections of two run reports the way a shard merge can match a
+// single-process run: counters exactly, sums to 1e-9 relative tolerance
+// (Kahan summation is order-sensitive across shard boundaries), gauges
+// exactly except the layout-dependent {sim.threads, sim.shard.index,
+// sim.shard.count}, and histograms by count only when the name contains
+// "wall_ms" (timings are never reproducible).
+//
+// Exit codes: 0 success / reports match, 1 worker failure / merge error /
+// reports differ, 2 usage or parse errors.
+//
+// Note: pass value flags in --key=value form; positional arguments that
+// follow a bare boolean flag would otherwise be consumed as its value.
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cts/obs/json.hpp"
+#include "cts/obs/metrics.hpp"
+#include "cts/obs/run_report.hpp"
+#include "cts/sim/replication.hpp"
+#include "cts/sim/shard.hpp"
+#include "cts/util/error.hpp"
+#include "cts/util/flags.hpp"
+#include "cts/util/table.hpp"
+
+namespace obs = cts::obs;
+namespace sim = cts::sim;
+namespace cu = cts::util;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: cts_simd run BENCH_BINARY [--shards=N] [--out-dir=DIR]\n"
+      "                    [--metrics=PATH] [--keep-shards] [--quiet]\n"
+      "       cts_simd merge SHARD.json... [--metrics=PATH] [--quiet]\n"
+      "       cts_simd diff REPORT_A.json REPORT_B.json [--quiet]\n\n"
+      "Scale comes from the environment the workers inherit: REPRO_FULL=1,\n"
+      "REPRO_REPS, REPRO_FRAMES.\n"
+      "Exit codes: 0 success/match, 1 failure/mismatch, 2 usage or parse "
+      "error.\n");
+}
+
+/// Tokens not consumed by the flag parser, mirroring Flags' rule that a
+/// bare "--key" followed by a non-flag token takes it as its value.
+std::vector<std::string> positionals(int argc, char** argv) {
+  std::vector<std::string> out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      if (token.find('=') == std::string::npos && i + 1 < argc &&
+          std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        ++i;  // "--key value"
+      }
+      continue;
+    }
+    out.push_back(token);
+  }
+  return out;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// -------------------------------------------------------------------------
+// merge + report emission (shared by `run` and `merge`)
+
+/// Folds the merged shard set into this (otherwise idle) process's global
+/// registry and writes the same {"config":...,"metrics":...} run report a
+/// single-process bench run with --metrics would produce.
+bool write_merged_report(const sim::MergedShards& merged,
+                         const std::string& metrics_path, bool quiet) {
+  obs::MetricsRegistry::global().merge(merged.metrics);
+  obs::RunReport report;
+  report.set("run_id", "cts_simd");
+  report.set("tool", "cts_simd");
+  report.set("shard_count", static_cast<std::uint64_t>(merged.shard_count));
+  report.set("experiments",
+             static_cast<std::uint64_t>(merged.experiments.size()));
+  if (!merged.experiments.empty()) {
+    const sim::ReplicationConfig& config = merged.experiments.front().config;
+    report.set("replications", static_cast<std::uint64_t>(config.replications));
+    report.set("frames_per_replication", config.frames_per_replication);
+    report.set("warmup_frames", config.warmup_frames);
+    report.set("master_seed", config.master_seed);
+  }
+  if (!report.write(metrics_path)) {
+    std::fprintf(stderr, "cts_simd: could not write metrics to %s\n",
+                 metrics_path.c_str());
+    return false;
+  }
+  if (!quiet) {
+    std::printf("[merged metrics written to %s]\n", metrics_path.c_str());
+  }
+  return true;
+}
+
+void print_merged_summary(const sim::MergedShards& merged) {
+  std::printf("merged %zu shard(s), %zu experiment(s)\n", merged.shard_count,
+              merged.experiments.size());
+  for (const sim::MergedExperiment& experiment : merged.experiments) {
+    std::printf("\n%s: %zu reps x %llu frames, seed %llu\n",
+                experiment.label.c_str(), experiment.config.replications,
+                static_cast<unsigned long long>(
+                    experiment.config.frames_per_replication),
+                static_cast<unsigned long long>(
+                    experiment.config.master_seed));
+    cu::TextTable table({"B (cells)", "pooled CLR", "CI low", "CI high"});
+    for (const sim::ClrEstimate& est : experiment.result.clr) {
+      table.add_row({cu::format_fixed(est.buffer_cells, 0),
+                     cu::format_sci(est.pooled_clr, 4),
+                     cu::format_sci(est.clr.low(), 4),
+                     cu::format_sci(est.clr.high(), 4)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+}
+
+int merge_and_report(const std::vector<std::string>& shard_paths,
+                     const std::string& metrics_path, bool quiet) {
+  std::vector<sim::ShardFile> shards;
+  shards.reserve(shard_paths.size());
+  for (const std::string& path : shard_paths) {
+    shards.push_back(sim::read_shard_file(path));
+  }
+  const sim::MergedShards merged = sim::merge_shard_files(shards);
+  if (!quiet) print_merged_summary(merged);
+  return write_merged_report(merged, metrics_path, quiet) ? 0 : 1;
+}
+
+// -------------------------------------------------------------------------
+// run
+
+int run_workers(const std::string& binary, std::size_t shard_count,
+                const std::string& out_dir, const std::string& metrics_path,
+                bool keep_shards, bool quiet) {
+  if (::access(binary.c_str(), X_OK) != 0) {
+    std::fprintf(stderr, "cts_simd: %s is not an executable\n",
+                 binary.c_str());
+    return 2;
+  }
+  ::mkdir(out_dir.c_str(), 0755);  // best-effort; open() reports failures
+
+  std::vector<std::string> shard_paths;
+  std::vector<std::string> log_paths;
+  std::vector<pid_t> pids;
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    const std::string tag = std::to_string(i);
+    shard_paths.push_back(out_dir + "/shard_" + tag + ".json");
+    log_paths.push_back(out_dir + "/shard_" + tag + ".log");
+    const std::string shard_flag =
+        "--shard=" + sim::format_shard_spec({i, shard_count});
+    const std::string out_flag = "--shard-out=" + shard_paths.back();
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("cts_simd: fork");
+      return 1;
+    }
+    if (pid == 0) {
+      const int fd =
+          ::open(log_paths.back().c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, STDOUT_FILENO);
+        ::dup2(fd, STDERR_FILENO);
+        ::close(fd);
+      }
+      ::execl(binary.c_str(), binary.c_str(), shard_flag.c_str(),
+              out_flag.c_str(), "--quiet", static_cast<char*>(nullptr));
+      std::perror("cts_simd: execl");
+      std::_Exit(127);
+    }
+    pids.push_back(pid);
+    if (!quiet) {
+      std::printf("[worker %zu/%zu: pid %d, log %s]\n", i, shard_count,
+                  static_cast<int>(pid), log_paths.back().c_str());
+    }
+  }
+
+  bool failed = false;
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    int status = 0;
+    if (::waitpid(pids[i], &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "cts_simd: worker %zu failed (see %s)\n", i,
+                   log_paths[i].c_str());
+      failed = true;
+    }
+  }
+  if (failed) return 1;
+
+  const int rc = merge_and_report(shard_paths, metrics_path, quiet);
+  if (rc == 0 && !keep_shards) {
+    for (const std::string& path : shard_paths) ::unlink(path.c_str());
+  }
+  return rc;
+}
+
+// -------------------------------------------------------------------------
+// diff
+
+/// The metrics section of a run report, or the document itself when it is
+/// already a bare metrics object.
+const obs::JsonValue& metrics_of(const obs::JsonValue& doc) {
+  const obs::JsonValue* metrics = doc.find("metrics");
+  return metrics != nullptr ? *metrics : doc;
+}
+
+bool skipped_gauge(const std::string& name) {
+  return name == "sim.threads" || name == "sim.shard.index" ||
+         name == "sim.shard.count";
+}
+
+bool close_rel(double a, double b) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) <= std::max(1e-12, 1e-9 * scale);
+}
+
+/// Reports every difference; returns the number found.
+std::size_t diff_metrics(const obs::JsonValue& a, const obs::JsonValue& b,
+                         bool quiet) {
+  std::size_t differences = 0;
+  const auto report = [&](const std::string& what) {
+    ++differences;
+    if (!quiet) std::printf("DIFF: %s\n", what.c_str());
+  };
+
+  const auto keys_of = [](const obs::JsonValue& section) {
+    std::vector<std::string> keys;
+    for (const auto& [name, value] : section.members) {
+      (void)value;
+      keys.push_back(name);
+    }
+    return keys;
+  };
+  const auto for_union = [&](const char* section,
+                             const auto& visit) {
+    const obs::JsonValue& sa = a.at(section);
+    const obs::JsonValue& sb = b.at(section);
+    std::vector<std::string> keys = keys_of(sa);
+    for (const std::string& k : keys_of(sb)) {
+      bool seen = false;
+      for (const std::string& have : keys) seen = seen || have == k;
+      if (!seen) keys.push_back(k);
+    }
+    for (const std::string& k : keys) visit(k, sa.find(k), sb.find(k));
+  };
+
+  for_union("counters", [&](const std::string& name, const obs::JsonValue* va,
+                            const obs::JsonValue* vb) {
+    if (va == nullptr || vb == nullptr) {
+      report("counter " + name + " present in only one report");
+    } else if (va->as_number() != vb->as_number()) {
+      report("counter " + name + ": " + std::to_string(va->as_number()) +
+             " vs " + std::to_string(vb->as_number()));
+    }
+  });
+
+  for_union("sums", [&](const std::string& name, const obs::JsonValue* va,
+                        const obs::JsonValue* vb) {
+    if (va == nullptr || vb == nullptr) {
+      report("sum " + name + " present in only one report");
+    } else if (!close_rel(va->as_number(), vb->as_number())) {
+      report("sum " + name + ": " + std::to_string(va->as_number()) + " vs " +
+             std::to_string(vb->as_number()));
+    }
+  });
+
+  for_union("gauges", [&](const std::string& name, const obs::JsonValue* va,
+                          const obs::JsonValue* vb) {
+    if (skipped_gauge(name)) return;
+    if (va == nullptr || vb == nullptr) {
+      report("gauge " + name + " present in only one report");
+    } else if (va->as_number() != vb->as_number()) {
+      report("gauge " + name + ": " + std::to_string(va->as_number()) +
+             " vs " + std::to_string(vb->as_number()));
+    }
+  });
+
+  for_union("histograms", [&](const std::string& name,
+                              const obs::JsonValue* va,
+                              const obs::JsonValue* vb) {
+    if (va == nullptr || vb == nullptr) {
+      report("histogram " + name + " present in only one report");
+      return;
+    }
+    if (va->at("count").as_number() != vb->at("count").as_number()) {
+      report("histogram " + name + " count: " +
+             std::to_string(va->at("count").as_number()) + " vs " +
+             std::to_string(vb->at("count").as_number()));
+      return;
+    }
+    if (name.find("wall_ms") != std::string::npos) return;  // timings
+    if (va->at("mean").as_number() != vb->at("mean").as_number()) {
+      report("histogram " + name + " mean differs");
+    }
+  });
+
+  return differences;
+}
+
+int diff_reports(const std::string& path_a, const std::string& path_b,
+                 bool quiet) {
+  const obs::JsonValue a = obs::json_parse(read_file(path_a));
+  const obs::JsonValue b = obs::json_parse(read_file(path_b));
+  const std::size_t differences =
+      diff_metrics(metrics_of(a), metrics_of(b), quiet);
+  if (differences == 0) {
+    if (!quiet) std::printf("reports match\n");
+    return 0;
+  }
+  std::fprintf(stderr, "cts_simd: %zu difference(s) between %s and %s\n",
+               differences, path_a.c_str(), path_b.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const cu::Flags flags(argc, argv);
+    if (flags.get_bool("help", false)) {
+      usage();
+      return 0;
+    }
+    flags.warn_unknown(std::cerr, {"shards", "out-dir", "metrics",
+                                   "keep-shards", "quiet", "help"});
+    const bool quiet = flags.get_bool("quiet", false);
+    const std::vector<std::string> args = positionals(argc, argv);
+    if (args.empty()) {
+      usage();
+      return 2;
+    }
+    const std::string& command = args.front();
+
+    if (command == "run") {
+      if (args.size() != 2) {
+        usage();
+        return 2;
+      }
+      const std::int64_t shards = flags.get_int("shards", 2);
+      if (shards < 1) {
+        std::fprintf(stderr, "cts_simd: --shards must be >= 1\n");
+        return 2;
+      }
+      return run_workers(args[1], static_cast<std::size_t>(shards),
+                         flags.get_string("out-dir", "simd_out"),
+                         flags.get_string("metrics", "simd_metrics.json"),
+                         flags.get_bool("keep-shards", false), quiet);
+    }
+    if (command == "merge") {
+      if (args.size() < 2) {
+        usage();
+        return 2;
+      }
+      return merge_and_report(
+          std::vector<std::string>(args.begin() + 1, args.end()),
+          flags.get_string("metrics", "simd_metrics.json"), quiet);
+    }
+    if (command == "diff") {
+      if (args.size() != 3) {
+        usage();
+        return 2;
+      }
+      return diff_reports(args[1], args[2], quiet);
+    }
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cts_simd: %s\n", e.what());
+    return 2;
+  }
+}
