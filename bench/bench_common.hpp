@@ -38,6 +38,7 @@
 #include "cts/sim/curves.hpp"
 #include "cts/sim/replication.hpp"
 #include "cts/sim/shard.hpp"
+#include "cts/util/cli_registry.hpp"
 #include "cts/util/error.hpp"
 #include "cts/util/csv.hpp"
 #include "cts/util/flags.hpp"
@@ -106,8 +107,10 @@ class ObsGuard {
   ObsGuard(const cts::util::Flags& flags, std::string run_id,
            std::vector<std::string> extra_known = {})
       : flags_(flags), run_id_(std::move(run_id)) {
-    std::vector<std::string> known = {"csv",   "trace",     "metrics", "perf",
-                                      "shard", "shard-out", "quiet",   "help"};
+    // The shared flag surface comes from the CLI registry so the benches,
+    // --help, and docs/cli.md can never disagree about what exists.
+    std::vector<std::string> known =
+        cts::util::cli::flag_names(cts::util::cli::kBenchSharedFlags);
     known.insert(known.end(), extra_known.begin(), extra_known.end());
     if (flags_.get_bool("help", false)) {
       print_help(extra_known);
@@ -168,33 +171,25 @@ class ObsGuard {
   void print_help(const std::vector<std::string>& extra_known) const {
     std::printf("usage: %s [--flag[=value] ...]\n\n", run_id_.c_str());
     std::printf("shared flags:\n");
-    std::printf("  --csv=PATH      mirror the rendered table as CSV\n");
-    std::printf("  --trace=PATH    write a Chrome-trace span timeline\n");
-    std::printf(
-        "  --metrics=PATH  write the JSON run report (config echo + metrics "
-        "registry)\n");
-    std::printf(
-        "  --perf=PATH     write the cts.perf.v1 report (rusage, hw "
-        "counters, span self-times)\n");
-    std::printf(
-        "  --shard=I/N     run only replication shard I of N (REPRO_SHARD "
-        "equivalent)\n");
-    std::printf(
-        "  --shard-out=PATH  write this worker's cts.shard.v1 file (default "
-        "<run_id>_shard.json)\n");
-    std::printf(
-        "  --quiet         suppress the stderr progress line (CTS_QUIET=1 "
-        "equivalent)\n");
-    std::printf("  --help          print this flag list and exit\n");
+    for (const cts::util::cli::FlagDoc& flag :
+         cts::util::cli::kBenchSharedFlags) {
+      std::string name = std::string("--") + flag.name;
+      if (flag.value_hint[0] != '\0') {
+        name += std::string("=") + flag.value_hint;
+      }
+      std::printf("  %-18s %s\n", name.c_str(), flag.doc);
+    }
     if (!extra_known.empty()) {
       std::printf("bench flags:\n");
       for (const std::string& key : extra_known) {
         std::printf("  --%s\n", key.c_str());
       }
     }
-    std::printf(
-        "environment: REPRO_FULL=1 (paper scale), REPRO_REPS / REPRO_FRAMES "
-        "(scale overrides), REPRO_SHARD=I/N, CTS_QUIET=1\n");
+    std::printf("environment:");
+    for (const cts::util::cli::EnvDoc& env : cts::util::cli::kEnvVars) {
+      std::printf(" %s", env.name);
+    }
+    std::printf(" (see docs/cli.md)\n");
   }
 
   void write_reports() {

@@ -27,7 +27,9 @@ namespace cts::obs {
 inline constexpr const char* kBenchSchema = "cts.bench.v1";
 
 /// Throws util::InvalidArgument unless `doc` carries the cts.bench.v1
-/// schema tag and a "benches" object.
+/// schema tag and a "benches" object.  The message names what was
+/// actually found (missing field, non-string, unknown schema string) so
+/// a stray JSON file is rejected loudly instead of best-effort parsed.
 void require_bench_schema(const JsonValue& doc);
 
 struct CompareOptions {
@@ -64,5 +66,15 @@ struct CompareReport {
 CompareReport compare_bench_reports(const JsonValue& baseline,
                                     const JsonValue& candidate,
                                     const CompareOptions& options = {});
+
+/// The aligned per-metric delta table plus the [note: ...] lines, exactly
+/// as cts_benchcmp prints them — shared with cts_benchd --compare so the
+/// one-shot gate renders identically to the standalone tool.
+std::string format_compare_report(const CompareReport& report);
+
+/// One "REGRESSION: ..." line per regressed metric (empty string when the
+/// candidate holds the baseline), for stderr next to a non-zero exit.
+std::string format_regressions(const CompareReport& report,
+                               const CompareOptions& options);
 
 }  // namespace cts::obs

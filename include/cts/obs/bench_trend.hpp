@@ -1,0 +1,112 @@
+// Perf-trajectory analysis across a chain of BENCH_*.json baselines
+// (cts.bench.v1 documents emitted by tools/cts_benchd).
+//
+// cts_benchcmp answers "did THIS run regress against ONE baseline?".
+// This module answers the ROADMAP's trajectory question: order every
+// committed baseline by date, build per-bench metric series (median with
+// MAD and the t-corrected 95% CI cts_benchd already records), and flag
+// *sustained* drift — the last `window` consecutive baselines all beyond
+// the noise band around the first baseline — rather than a single noisy
+// last-vs-previous delta.  The same gates as bench_compare apply per
+// point:
+//
+//   excess_i = median_i - median_0
+//   band_i   = max(k_mad * max(MAD_i, MAD_0, abs_floor),
+//                  min_rel * |median_0|)
+//
+// and a series drifts when excess_i > band_i for every one of the last
+// `window` points (an improvement drift, all below -band_i, is reported
+// but never gates).  A Theil-Sen slope per series summarises the overall
+// direction robustly.  tools/cts_benchtrend renders the result as a
+// markdown table, a CSV mirror and a self-contained SVG sparkline chart.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cts/obs/json.hpp"
+
+namespace cts::obs {
+
+/// One parsed baseline document in the trajectory.
+struct BaselineDoc {
+  std::string path;       ///< file it was loaded from
+  std::string label;      ///< short label (file stem, e.g. BENCH_2026-08-05)
+  std::string generated;  ///< the document's "generated" ISO date
+  std::string suite;
+  JsonValue doc;
+};
+
+/// Parses one cts.bench.v1 document into a BaselineDoc.  Throws
+/// util::InvalidArgument when `text` is not valid JSON or does not carry
+/// the cts.bench.v1 schema (missing/unknown "schema" fields are rejected
+/// with a message naming what was found — never best-effort parsed).
+BaselineDoc parse_baseline(const std::string& path, const std::string& text);
+
+/// Sorts baselines by (generated date, label) so a trajectory reads
+/// oldest -> newest even when files are listed in shell-glob order.
+void sort_baselines(std::vector<BaselineDoc>& docs);
+
+struct TrendOptions {
+  double k_mad = 3.0;       ///< noise gate in MAD multiples
+  double min_rel = 0.05;    ///< relative gate (fraction of first median)
+  double abs_floor = 1e-4;  ///< MAD floor, as in CompareOptions
+  std::size_t window = 2;   ///< trailing points that must all drift
+  std::vector<std::string> metrics = {"wall_s"};
+};
+
+/// One baseline's contribution to a series.
+struct TrendPoint {
+  std::string label;      ///< baseline label
+  std::string generated;  ///< baseline date
+  std::size_t n = 0;      ///< repeats behind the median
+  double median = 0.0;
+  double mad = 0.0;
+  double ci95_lo = 0.0;
+  double ci95_hi = 0.0;
+  double excess = 0.0;  ///< median - first median
+  double band = 0.0;    ///< noise band half-width around the first median
+  bool beyond_band = false;  ///< |excess| > band (either direction)
+};
+
+/// One bench x metric trajectory over all baselines that carry it.
+struct TrendSeries {
+  std::string bench;
+  std::string metric;
+  std::vector<TrendPoint> points;
+  double slope = 0.0;  ///< Theil-Sen slope per baseline step
+  bool drift_regression = false;  ///< last `window` points all above +band
+  bool drift_improvement = false; ///< last `window` points all below -band
+  std::string verdict() const;  ///< "DRIFT" | "improvement" | "ok"
+};
+
+struct TrendReport {
+  std::string suite;
+  std::vector<std::string> labels;  ///< baseline labels, oldest first
+  std::vector<TrendSeries> series;
+  std::vector<std::string> notes;   ///< benches missing from some baselines
+
+  bool has_drift() const noexcept;
+};
+
+/// Theil-Sen estimator: the median over i<j of (y_j - y_i)/(j - i).
+/// Robust to a single outlier baseline; 0 for fewer than two points.
+double theil_sen_slope(const std::vector<double>& y);
+
+/// Builds the trajectory over `docs` (all of one suite; sorted oldest
+/// first — see sort_baselines).  Throws util::InvalidArgument when fewer
+/// than two baselines are given.
+TrendReport build_trend(const std::vector<BaselineDoc>& docs,
+                        const TrendOptions& options = {});
+
+/// Renders the report as a GitHub-flavoured markdown section (one table
+/// per metric, plus the notes).
+std::string trend_markdown(const TrendReport& report,
+                           const TrendOptions& options = {});
+
+/// Renders the report as CSV: one row per (metric, bench, baseline).
+std::string trend_csv(const TrendReport& report);
+
+}  // namespace cts::obs

@@ -1,0 +1,25 @@
+// Self-contained SVG sparkline chart for the perf trajectory.
+//
+// One fixed-size document, no external fonts/CSS/scripts, so the file can
+// be committed, attached as a CI artifact, or embedded in markdown and
+// render identically everywhere.  Each TrendSeries becomes one row: the
+// CI band as a translucent polygon, the median polyline on top, a dot on
+// the newest point, and the verdict ("DRIFT" rows turn red, improvements
+// green).  Rows are normalised independently — a sparkline shows each
+// bench's own shape, not cross-bench magnitude (the markdown/CSV tables
+// carry the absolute numbers).
+
+#pragma once
+
+#include <string>
+
+#include "cts/obs/bench_trend.hpp"
+
+namespace cts::obs {
+
+/// Renders `report` as one complete SVG document (the string starts with
+/// "<svg" and ends with "</svg>\n").  Throws util::InvalidArgument when
+/// the report has no series.
+std::string trend_svg(const TrendReport& report);
+
+}  // namespace cts::obs

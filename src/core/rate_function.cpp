@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cts/obs/trace.hpp"
 #include "cts/util/error.hpp"
 
 namespace cts::core {
@@ -15,6 +16,10 @@ RateFunction::RateFunction(std::shared_ptr<const AcfModel> acf, double mean,
 }
 
 RateResult RateFunction::evaluate(double buffer_per_source) const {
+  // One span per buffer point (tens per curve), not per scanned m — the
+  // inner loop below runs up to kMaxScan iterations and must stay
+  // allocation-free.
+  CTS_TRACE_SPAN("rate_fn.scan");
   util::require(buffer_per_source >= 0.0,
                 "RateFunction::evaluate: buffer must be >= 0");
   const double b = buffer_per_source;

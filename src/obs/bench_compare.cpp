@@ -2,18 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <sstream>
 
 #include "cts/util/error.hpp"
+#include "cts/util/table.hpp"
 
 namespace cts::obs {
 
 void require_bench_schema(const JsonValue& doc) {
   util::require(doc.is_object(), "bench report: top level must be an object");
   const JsonValue* schema = doc.find("schema");
-  util::require(schema != nullptr && schema->is_string() &&
-                    schema->string == kBenchSchema,
-                std::string("bench report: expected schema \"") +
-                    kBenchSchema + "\"");
+  util::require(schema != nullptr,
+                std::string("bench report: missing \"schema\" field "
+                            "(expected \"") +
+                    kBenchSchema + "\") — not a cts_benchd document");
+  util::require(schema->is_string(),
+                std::string("bench report: \"schema\" must be a string "
+                            "(expected \"") +
+                    kBenchSchema + "\")");
+  util::require(schema->string == kBenchSchema,
+                "bench report: unknown schema \"" + schema->string +
+                    "\" (this tool understands \"" + kBenchSchema + "\")");
   const JsonValue* benches = doc.find("benches");
   util::require(benches != nullptr && benches->is_object(),
                 "bench report: missing \"benches\" object");
@@ -87,4 +97,50 @@ CompareReport compare_bench_reports(const JsonValue& baseline,
   return report;
 }
 
+namespace {
+
+std::string format_rel_pct(double rel) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", rel * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_compare_report(const CompareReport& report) {
+  util::TextTable table(
+      {"bench", "metric", "baseline", "candidate", "delta", "verdict"});
+  for (const MetricDelta& d : report.deltas) {
+    table.add_row({d.bench, d.metric, util::format_sci(d.baseline_median, 4),
+                   util::format_sci(d.candidate_median, 4),
+                   format_rel_pct(d.rel),
+                   d.regression ? "REGRESSION"
+                                : (d.improvement ? "improvement" : "ok")});
+  }
+  std::ostringstream os;
+  os << table.render() << '\n';
+  for (const std::string& note : report.notes) {
+    os << "[note: " << note << "]\n";
+  }
+  return os.str();
+}
+
+std::string format_regressions(const CompareReport& report,
+                               const CompareOptions& options) {
+  std::ostringstream os;
+  for (const MetricDelta& d : report.deltas) {
+    if (!d.regression) continue;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "REGRESSION: %s %s %s (median %.6g -> %.6g, > %.1f x MAD "
+                  "and > %.1f%%)\n",
+                  d.bench.c_str(), d.metric.c_str(),
+                  format_rel_pct(d.rel).c_str(), d.baseline_median,
+                  d.candidate_median, options.k_mad, options.min_rel * 100.0);
+    os << line;
+  }
+  return os.str();
+}
+
 }  // namespace cts::obs
+

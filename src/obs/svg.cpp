@@ -1,0 +1,150 @@
+#include "cts/obs/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "cts/obs/json.hpp"
+#include "cts/util/error.hpp"
+
+namespace cts::obs {
+
+namespace {
+
+// Geometry: [label 220px][sparkline 380px][verdict 110px], 44px per row.
+constexpr double kLabelW = 220.0;
+constexpr double kPlotW = 380.0;
+constexpr double kVerdictW = 110.0;
+constexpr double kRowH = 44.0;
+constexpr double kHeaderH = 54.0;
+constexpr double kFooterH = 26.0;
+constexpr double kPadY = 8.0;  ///< vertical inset inside a row
+
+constexpr const char* kInk = "#32363f";
+constexpr const char* kMuted = "#7a8089";
+constexpr const char* kLine = "#3b5bdb";
+constexpr const char* kBand = "#aab8f0";
+constexpr const char* kDrift = "#c92a2a";
+constexpr const char* kImprove = "#2b8a3e";
+constexpr const char* kRule = "#e3e5e8";
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string trend_svg(const TrendReport& report) {
+  util::require(!report.series.empty(), "trend_svg: report has no series");
+
+  const double width = kLabelW + kPlotW + kVerdictW;
+  const double height =
+      kHeaderH + kRowH * static_cast<double>(report.series.size()) + kFooterH;
+  const std::size_t steps = report.labels.size();
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+     << "\" height=\"" << height << "\" viewBox=\"0 0 " << width << " "
+     << height << "\" role=\"img\" font-family=\"monospace\">\n";
+  std::string title = "Perf trajectory";
+  if (!report.suite.empty()) title += " - suite " + report.suite;
+  os << "  <title>" << json_escape(title) << "</title>\n";
+  os << "  <rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n";
+  os << "  <text x=\"12\" y=\"22\" font-size=\"15\" fill=\"" << kInk << "\">"
+     << json_escape(title) << "</text>\n";
+  os << "  <text x=\"12\" y=\"40\" font-size=\"11\" fill=\"" << kMuted << "\">"
+     << json_escape(std::to_string(steps) + " baselines: " +
+                    (report.labels.empty() ? "" : report.labels.front()) +
+                    " .. " +
+                    (report.labels.empty() ? "" : report.labels.back()))
+     << "</text>\n";
+
+  for (std::size_t row = 0; row < report.series.size(); ++row) {
+    const TrendSeries& series = report.series[row];
+    const double top = kHeaderH + kRowH * static_cast<double>(row);
+    const double mid = top + kRowH / 2.0;
+    const double plot_top = top + kPadY;
+    const double plot_h = kRowH - 2.0 * kPadY;
+
+    os << "  <line x1=\"0\" y1=\"" << num(top) << "\" x2=\"" << width
+       << "\" y2=\"" << num(top) << "\" stroke=\"" << kRule
+       << "\" stroke-width=\"1\"/>\n";
+    os << "  <text x=\"12\" y=\"" << num(mid + 4.0)
+       << "\" font-size=\"12\" fill=\"" << kInk << "\">"
+       << json_escape(series.bench + " " + series.metric) << "</text>\n";
+
+    // Per-row normalisation over the union of the CI band and the medians.
+    double lo = series.points.front().ci95_lo;
+    double hi = series.points.front().ci95_hi;
+    for (const TrendPoint& point : series.points) {
+      lo = std::min({lo, point.ci95_lo, point.median});
+      hi = std::max({hi, point.ci95_hi, point.median});
+    }
+    if (!(hi > lo)) {  // flat series (or NaN): pad so y() stays finite
+      hi = lo + (lo == 0.0 ? 1.0 : std::fabs(lo) * 0.01);
+    }
+    const auto x = [&](std::size_t index_in_labels) {
+      const double denom =
+          steps > 1 ? static_cast<double>(steps - 1) : 1.0;
+      return kLabelW +
+             kPlotW * (0.06 + 0.88 * static_cast<double>(index_in_labels) /
+                                  denom);
+    };
+    const auto y = [&](double v) {
+      return plot_top + plot_h * (1.0 - (v - lo) / (hi - lo));
+    };
+
+    // Points map onto the label grid by label so a series missing from a
+    // middle baseline keeps its horizontal alignment.
+    std::vector<std::pair<double, const TrendPoint*>> placed;
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < report.labels.size(); ++i) {
+      if (next < series.points.size() &&
+          series.points[next].label == report.labels[i]) {
+        placed.emplace_back(x(i), &series.points[next]);
+        ++next;
+      }
+    }
+
+    // CI band polygon: upper edge left->right, lower edge right->left.
+    os << "  <polygon fill=\"" << kBand << "\" fill-opacity=\"0.45\" "
+       << "stroke=\"none\" points=\"";
+    for (const auto& [px, point] : placed) {
+      os << num(px) << "," << num(y(point->ci95_hi)) << " ";
+    }
+    for (auto it = placed.rbegin(); it != placed.rend(); ++it) {
+      os << num(it->first) << "," << num(y(it->second->ci95_lo)) << " ";
+    }
+    os << "\"/>\n";
+
+    const char* color = series.drift_regression
+                            ? kDrift
+                            : (series.drift_improvement ? kImprove : kLine);
+    os << "  <polyline fill=\"none\" stroke=\"" << color
+       << "\" stroke-width=\"1.6\" points=\"";
+    for (const auto& [px, point] : placed) {
+      os << num(px) << "," << num(y(point->median)) << " ";
+    }
+    os << "\"/>\n";
+    const auto& [last_x, last_point] = placed.back();
+    os << "  <circle cx=\"" << num(last_x) << "\" cy=\""
+       << num(y(last_point->median)) << "\" r=\"2.8\" fill=\"" << color
+       << "\"/>\n";
+    os << "  <text x=\"" << num(kLabelW + kPlotW + 10.0) << "\" y=\""
+       << num(mid + 4.0) << "\" font-size=\"12\" fill=\"" << color << "\">"
+       << json_escape(series.verdict()) << "</text>\n";
+  }
+
+  const double footer_y = height - 8.0;
+  os << "  <text x=\"12\" y=\"" << num(footer_y)
+     << "\" font-size=\"10\" fill=\"" << kMuted
+     << "\">median polyline over 95% CI band; rows normalised "
+        "independently</text>\n";
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace cts::obs

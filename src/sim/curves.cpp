@@ -4,16 +4,22 @@
 
 #include "cts/core/large_n.hpp"
 #include "cts/core/rate_function.hpp"
+#include "cts/obs/trace.hpp"
 #include "cts/util/error.hpp"
 
 namespace cts::sim {
 
 namespace {
 
+/// `span_name` attributes the whole buffer-grid scan (one span per curve,
+/// not per point) to a named phase in --trace/--perf output, so the
+/// analytic benches' phase tables show where the rate-function work went
+/// instead of lumping everything under the "bench" root span.
 AnalyticCurve asymptotic_curve(const fit::ModelSpec& model,
                                const MuxGeometry& geometry,
                                const std::vector<double>& buffer_ms,
-                               bool bahadur_rao) {
+                               bool bahadur_rao, const char* span_name) {
+  obs::ScopedSpan span(span_name);
   core::RateFunction rate(model.acf, model.mean, model.variance,
                           geometry.bandwidth_per_source);
   AnalyticCurve curve;
@@ -37,20 +43,20 @@ AnalyticCurve asymptotic_curve(const fit::ModelSpec& model,
 
 AnalyticCurve br_curve(const fit::ModelSpec& model, const MuxGeometry& geometry,
                        const std::vector<double>& buffer_ms) {
-  return asymptotic_curve(model, geometry, buffer_ms, true);
+  return asymptotic_curve(model, geometry, buffer_ms, true, "curve.br");
 }
 
 AnalyticCurve large_n_curve(const fit::ModelSpec& model,
                             const MuxGeometry& geometry,
                             const std::vector<double>& buffer_ms) {
-  return asymptotic_curve(model, geometry, buffer_ms, false);
+  return asymptotic_curve(model, geometry, buffer_ms, false, "curve.large_n");
 }
 
 AnalyticCurve cts_curve(const fit::ModelSpec& model,
                         const MuxGeometry& geometry,
                         const std::vector<double>& buffer_ms) {
   // The CTS is a by-product of the B-R evaluation; reuse it.
-  return asymptotic_curve(model, geometry, buffer_ms, true);
+  return asymptotic_curve(model, geometry, buffer_ms, true, "curve.cts");
 }
 
 ReplicationConfig replication_config_for_grid(

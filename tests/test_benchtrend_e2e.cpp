@@ -1,0 +1,132 @@
+// End-to-end cts_benchtrend tests: a synthetic three-baseline chain with
+// injected drift must produce the markdown/CSV/SVG artefacts and trip the
+// --gate exit code, a stable chain must stay green, and --validate must
+// accept only cts.bench.v1 documents.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+}
+
+int shell(const std::string& command) {
+  const int rc = std::system(command.c_str());
+  if (rc == -1) return -1;
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+#if defined(CTS_TOOLS_BIN_DIR)
+
+std::string benchtrend() {
+  return std::string(CTS_TOOLS_BIN_DIR) + "/cts_benchtrend";
+}
+
+/// A cts.bench.v1 baseline with one bench and a full wall_s summary.
+std::string baseline_doc(const std::string& date, double median) {
+  std::ostringstream os;
+  os << R"({"schema":"cts.bench.v1","suite":"smoke","generated":")" << date
+     << R"(","benches":{"fig9_sim_markov":{"metrics":{"wall_s":{)"
+     << R"("n":5,"median":)" << median
+     << R"(,"mad":0.01,"ci95_lo":0.9,"ci95_hi":1.1}}}}})";
+  return os.str();
+}
+
+/// Writes a three-baseline chain into `dir` and returns the file list.
+std::string write_chain(const std::string& dir, double m1, double m2,
+                        double m3) {
+  const std::string f1 = dir + "/BENCH_2026-08-01.json";
+  const std::string f2 = dir + "/BENCH_2026-08-02.json";
+  const std::string f3 = dir + "/BENCH_2026-08-03.json";
+  write_file(f1, baseline_doc("2026-08-01", m1));
+  write_file(f2, baseline_doc("2026-08-02", m2));
+  write_file(f3, baseline_doc("2026-08-03", m3));
+  // Deliberately out of date order: the tool must sort by "generated".
+  return "'" + f3 + "' '" + f1 + "' '" + f2 + "'";
+}
+
+TEST(CtsBenchtrend, InjectedDriftProducesArtifactsAndTripsGate) {
+  const std::string dir = ::testing::TempDir();
+  // Last two baselines +50% over the first: sustained drift.
+  const std::string files = write_chain(dir, 1.0, 1.5, 1.55);
+  const std::string md = dir + "/trend_drift.md";
+  const std::string csv = dir + "/trend_drift.csv";
+  const std::string svg = dir + "/trend_drift.svg";
+  const std::string cmd = "'" + benchtrend() + "' " + files + " --md='" + md +
+                          "' --csv='" + csv + "' --svg='" + svg +
+                          "' --gate --quiet 2>/dev/null";
+  EXPECT_EQ(shell(cmd), 1) << cmd;
+
+  const std::string md_text = read_file(md);
+  EXPECT_NE(md_text.find("DRIFT"), std::string::npos);
+  // Sorted oldest first despite shuffled argv order.
+  EXPECT_LT(md_text.find("BENCH_2026-08-01"), md_text.find("BENCH_2026-08-03"));
+
+  const std::string csv_text = read_file(csv);
+  EXPECT_NE(csv_text.find("metric,bench,index"), std::string::npos);
+  EXPECT_NE(csv_text.find("fig9_sim_markov"), std::string::npos);
+
+  const std::string svg_text = read_file(svg);
+  EXPECT_EQ(svg_text.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg_text.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg_text.find("DRIFT"), std::string::npos);
+}
+
+TEST(CtsBenchtrend, StableChainStaysGreenEvenWithGate) {
+  const std::string dir = ::testing::TempDir();
+  const std::string files = write_chain(dir, 1.0, 1.001, 0.999);
+  EXPECT_EQ(shell("'" + benchtrend() + "' " + files +
+                  " --gate --quiet >/dev/null"),
+            0);
+}
+
+TEST(CtsBenchtrend, ValidateAcceptsOnlyBenchDocuments) {
+  const std::string dir = ::testing::TempDir();
+  const std::string good = dir + "/trend_validate_good.json";
+  const std::string bad = dir + "/trend_validate_bad.json";
+  write_file(good, baseline_doc("2026-08-01", 1.0));
+  write_file(bad, R"({"schema":"cts.perf.v1"})");
+  EXPECT_EQ(shell("'" + benchtrend() + "' --validate '" + good +
+                  "' --quiet >/dev/null"),
+            0);
+  EXPECT_EQ(shell("'" + benchtrend() + "' --validate '" + bad +
+                  "' --quiet 2>/dev/null"),
+            2);
+}
+
+TEST(CtsBenchtrend, UsageErrorsExitTwo) {
+  const std::string dir = ::testing::TempDir();
+  const std::string lone = dir + "/trend_lone.json";
+  write_file(lone, baseline_doc("2026-08-01", 1.0));
+  // A trajectory needs at least two baselines.
+  EXPECT_EQ(shell("'" + benchtrend() + "' '" + lone + "' 2>/dev/null"), 2);
+  // An empty directory scan is an error, not silent success.
+  EXPECT_EQ(shell("'" + benchtrend() + "' --dir='" + dir +
+                  "/no_such_dir' 2>/dev/null"),
+            2);
+  EXPECT_EQ(shell("'" + benchtrend() + "' --help >/dev/null"), 0);
+}
+
+#else
+
+TEST(BenchtrendE2e, DISABLED_ToolsNotBuilt) {}
+
+#endif  // CTS_TOOLS_BIN_DIR
+
+}  // namespace

@@ -1,0 +1,68 @@
+// Docs-drift guard: docs/cli.md documents the CLI registry
+// (cts/util/cli_registry.hpp), which is also what every tool's --help and
+// warn_unknown use.  A flag added to the registry without a docs/cli.md
+// mention fails here, so the reference cannot rot silently.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cts/util/cli_registry.hpp"
+
+namespace cli = cts::util::cli;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string cli_doc() {
+  return read_file(std::string(CTS_DOCS_DIR) + "/cli.md");
+}
+
+TEST(CliDocs, DocExistsAndNamesEveryTool) {
+  const std::string doc = cli_doc();
+  ASSERT_FALSE(doc.empty()) << "docs/cli.md missing or unreadable";
+  for (const cli::ToolDoc& tool : cli::kTools) {
+    EXPECT_NE(doc.find(std::string("## ") + tool.tool), std::string::npos)
+        << "docs/cli.md does not have a section heading for '" << tool.tool
+        << "'";
+  }
+}
+
+TEST(CliDocs, EveryRegisteredFlagIsDocumented) {
+  const std::string doc = cli_doc();
+  ASSERT_FALSE(doc.empty());
+  for (const cli::ToolDoc& tool : cli::kTools) {
+    // Flags must be documented inside their tool's section, not just
+    // anywhere: shared names like --quiet appear under several tools.
+    const std::size_t section = doc.find(std::string("## ") + tool.tool);
+    ASSERT_NE(section, std::string::npos) << tool.tool;
+    std::size_t section_end = doc.find("\n## ", section);
+    if (section_end == std::string::npos) section_end = doc.size();
+    const std::string body = doc.substr(section, section_end - section);
+    for (std::size_t i = 0; i < tool.count; ++i) {
+      const std::string needle = std::string("--") + tool.flags[i].name;
+      EXPECT_NE(body.find(needle), std::string::npos)
+          << "docs/cli.md section '" << tool.tool << "' is missing " << needle
+          << " — update the doc to match cli_registry.hpp";
+    }
+  }
+}
+
+TEST(CliDocs, EveryEnvironmentVariableIsDocumented) {
+  const std::string doc = cli_doc();
+  ASSERT_FALSE(doc.empty());
+  for (const cli::EnvDoc& env : cli::kEnvVars) {
+    EXPECT_NE(doc.find(env.name), std::string::npos)
+        << "docs/cli.md is missing environment variable " << env.name;
+  }
+}
+
+}  // namespace

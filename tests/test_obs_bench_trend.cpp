@@ -1,0 +1,181 @@
+// Perf-trajectory analysis across BENCH_*.json baselines: ordering,
+// Theil-Sen slopes, sustained-drift gating (not last-vs-previous), and
+// the markdown / CSV / SVG renderers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cts/obs/bench_trend.hpp"
+#include "cts/obs/svg.hpp"
+#include "cts/util/error.hpp"
+
+namespace obs = cts::obs;
+
+namespace {
+
+/// A minimal cts.bench.v1 document with one bench and a full wall_s
+/// summary block (the trend builder reads n/median/mad/ci95_lo/ci95_hi).
+std::string doc(const std::string& generated, double median, double mad) {
+  return std::string(R"({"schema":"cts.bench.v1","suite":"smoke",)") +
+         R"("generated":")" + generated + R"(","benches":{"fig9":)" +
+         R"({"metrics":{"wall_s":{"n":5,"median":)" + std::to_string(median) +
+         R"(,"mad":)" + std::to_string(mad) +
+         R"(,"ci95_lo":0.9,"ci95_hi":1.1}}}}})";
+}
+
+std::vector<obs::BaselineDoc> chain(const std::vector<double>& medians,
+                                    double mad = 0.01) {
+  std::vector<obs::BaselineDoc> docs;
+  for (std::size_t i = 0; i < medians.size(); ++i) {
+    const std::string date = "2026-08-0" + std::to_string(i + 1);
+    docs.push_back(
+        obs::parse_baseline("BENCH_" + date + ".json", doc(date, medians[i], mad)));
+  }
+  return docs;
+}
+
+TEST(ParseBaseline, ExtractsLabelSuiteAndDate) {
+  const obs::BaselineDoc b =
+      obs::parse_baseline("perf/BENCH_2026-08-05.json",
+                          doc("2026-08-05", 1.0, 0.01));
+  EXPECT_EQ(b.label, "BENCH_2026-08-05");
+  EXPECT_EQ(b.suite, "smoke");
+  EXPECT_EQ(b.generated, "2026-08-05");
+}
+
+TEST(ParseBaseline, RejectsInvalidJsonAndWrongSchema) {
+  EXPECT_THROW(obs::parse_baseline("x.json", "{nope"),
+               cts::util::InvalidArgument);
+  // A document without a "schema" field must not be best-effort parsed.
+  EXPECT_THROW(obs::parse_baseline("x.json", R"({"benches":{}})"),
+               cts::util::InvalidArgument);
+  try {
+    obs::parse_baseline("x.json", R"({"schema":"cts.perf.v1","benches":{}})");
+    FAIL() << "unknown schema must throw";
+  } catch (const cts::util::InvalidArgument& e) {
+    // The message must name the offending schema so the fix is obvious.
+    EXPECT_NE(std::string(e.what()).find("cts.perf.v1"), std::string::npos);
+  }
+}
+
+TEST(SortBaselines, OrdersByDateThenLabel) {
+  std::vector<obs::BaselineDoc> docs;
+  docs.push_back(obs::parse_baseline("b2.json", doc("2026-08-02", 1, 0.01)));
+  docs.push_back(obs::parse_baseline("a1.json", doc("2026-08-01", 1, 0.01)));
+  docs.push_back(obs::parse_baseline("a2.json", doc("2026-08-02", 1, 0.01)));
+  obs::sort_baselines(docs);
+  EXPECT_EQ(docs[0].label, "a1");
+  EXPECT_EQ(docs[1].label, "a2");
+  EXPECT_EQ(docs[2].label, "b2");
+}
+
+TEST(TheilSen, ExactOnLinearSeriesRobustToOutlier) {
+  EXPECT_DOUBLE_EQ(obs::theil_sen_slope({1.0, 2.0, 3.0, 4.0}), 1.0);
+  // One wild outlier must not drag the slope (an OLS fit would).
+  EXPECT_NEAR(obs::theil_sen_slope({1.0, 2.0, 100.0, 4.0, 5.0}), 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(obs::theil_sen_slope({42.0}), 0.0);
+}
+
+TEST(BuildTrend, NeedsTwoBaselines) {
+  EXPECT_THROW(obs::build_trend(chain({1.0})), cts::util::InvalidArgument);
+}
+
+TEST(BuildTrend, StableSeriesIsOk) {
+  const obs::TrendReport report = obs::build_trend(chain({1.0, 1.001, 0.999}));
+  ASSERT_EQ(report.series.size(), 1u);
+  EXPECT_EQ(report.series[0].verdict(), "ok");
+  EXPECT_FALSE(report.has_drift());
+}
+
+TEST(BuildTrend, SustainedDriftTripsTheGate) {
+  // Last two points both +50% over the first with tiny MAD: sustained.
+  const obs::TrendReport report =
+      obs::build_trend(chain({1.0, 1.0, 1.5, 1.55}));
+  ASSERT_EQ(report.series.size(), 1u);
+  EXPECT_TRUE(report.series[0].drift_regression);
+  EXPECT_EQ(report.series[0].verdict(), "DRIFT");
+  EXPECT_TRUE(report.has_drift());
+  EXPECT_GT(report.series[0].slope, 0.0);
+}
+
+TEST(BuildTrend, SingleSpikeIsNotSustainedDrift) {
+  // Only the LAST point is beyond the band; the default window of 2
+  // requires the previous point to be out too — one noisy baseline must
+  // not page anyone.
+  const obs::TrendReport report =
+      obs::build_trend(chain({1.0, 1.0, 1.0, 1.5}));
+  ASSERT_EQ(report.series.size(), 1u);
+  EXPECT_FALSE(report.series[0].drift_regression);
+  EXPECT_TRUE(report.series[0].points.back().beyond_band);
+  EXPECT_FALSE(report.has_drift());
+}
+
+TEST(BuildTrend, ImprovementIsReportedButNeverGates) {
+  const obs::TrendReport report =
+      obs::build_trend(chain({1.0, 1.0, 0.5, 0.45}));
+  ASSERT_EQ(report.series.size(), 1u);
+  EXPECT_TRUE(report.series[0].drift_improvement);
+  EXPECT_EQ(report.series[0].verdict(), "improvement");
+  EXPECT_FALSE(report.has_drift());
+}
+
+TEST(BuildTrend, DriftWithinNoiseBandStaysQuiet) {
+  // +8% everywhere but MAD 0.1 -> 3*MAD = 0.3 band: not significant.
+  const obs::TrendReport report =
+      obs::build_trend(chain({1.0, 1.08, 1.08}, 0.1));
+  ASSERT_EQ(report.series.size(), 1u);
+  EXPECT_EQ(report.series[0].verdict(), "ok");
+}
+
+TEST(BuildTrend, BenchMissingFromSomeBaselinesIsNoted) {
+  std::vector<obs::BaselineDoc> docs = chain({1.0, 1.0});
+  docs.push_back(obs::parse_baseline(
+      "BENCH_2026-08-03.json",
+      R"({"schema":"cts.bench.v1","suite":"smoke","generated":"2026-08-03",)"
+      R"("benches":{"table1":{"metrics":{"wall_s":)"
+      R"({"n":5,"median":2.0,"mad":0.01,"ci95_lo":1.9,"ci95_hi":2.1}}}}})"));
+  const obs::TrendReport report = obs::build_trend(docs);
+  // fig9 appears in 2 of 3 baselines -> still a series, plus a note;
+  // table1 appears once -> no series at all.
+  ASSERT_EQ(report.series.size(), 1u);
+  EXPECT_EQ(report.series[0].bench, "fig9");
+  ASSERT_EQ(report.notes.size(), 2u);
+  EXPECT_NE(report.notes[0].find("fig9"), std::string::npos);
+  EXPECT_NE(report.notes[1].find("table1"), std::string::npos);
+}
+
+TEST(TrendRenderers, MarkdownCsvAndSvgCarryTheSeries) {
+  const obs::TrendReport report =
+      obs::build_trend(chain({1.0, 1.0, 1.5, 1.55}));
+
+  const std::string md = obs::trend_markdown(report);
+  EXPECT_NE(md.find("| fig9 |"), std::string::npos);
+  EXPECT_NE(md.find("DRIFT"), std::string::npos);
+  EXPECT_NE(md.find("‡"), std::string::npos);  // beyond-band marker
+
+  const std::string csv = obs::trend_csv(report);
+  // Header + one row per (bench, baseline) point.
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 5);
+  EXPECT_NE(csv.find("metric,bench,index"), std::string::npos);
+  EXPECT_NE(csv.find("DRIFT"), std::string::npos);
+
+  const std::string svg = obs::trend_svg(report);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("polyline"), std::string::npos);
+  EXPECT_NE(svg.find("fig9"), std::string::npos);
+  EXPECT_NE(svg.find("DRIFT"), std::string::npos);
+  // Self-contained: no external references of any kind.
+  EXPECT_EQ(svg.find("http://www.w3.org/2000/svg"),
+            svg.rfind("http"));  // the xmlns is the only URL
+}
+
+TEST(TrendSvg, RejectsEmptyReport) {
+  obs::TrendReport empty;
+  EXPECT_THROW(obs::trend_svg(empty), cts::util::InvalidArgument);
+}
+
+}  // namespace

@@ -151,6 +151,98 @@ TEST(CtsBenchcmp, UsageErrorsExitTwo) {
   EXPECT_EQ(shell("'" + benchcmp() + "' --help >/dev/null"), 0);
 }
 
+TEST(CtsBenchcmp, ValidateRejectsMissingAndUnknownSchema) {
+  // Valid JSON is not enough: a schema-less or foreign document must be
+  // rejected so a stray file can never pass as a perf baseline.
+  const std::string no_schema = ::testing::TempDir() + "/validate_noschema.json";
+  const std::string wrong = ::testing::TempDir() + "/validate_wrong.json";
+  write_file(no_schema, R"({"benches":{}})");
+  write_file(wrong, R"({"schema":"cts.perf.v1","benches":{}})");
+  EXPECT_EQ(shell("'" + benchcmp() + "' --validate='" + no_schema +
+                  "' --quiet 2>/dev/null"),
+            2);
+  EXPECT_EQ(shell("'" + benchcmp() + "' --validate='" + wrong +
+                  "' --quiet 2>/dev/null"),
+            2);
+}
+
+TEST(CtsBenchd, CompareModeGatesInOneInvocation) {
+  // One-shot run-and-gate: the exit code must match what a separate
+  // cts_benchcmp invocation would produce against the same baseline.
+  const std::string dir = ::testing::TempDir();
+  const std::string fast = dir + "/compare_fast_base.json";   // unbeatable
+  const std::string slow = dir + "/compare_slow_base.json";   // unloseable
+  const auto fig5_doc = [](double wall_median) {
+    std::ostringstream os;
+    os << R"({"schema":"cts.bench.v1","benches":{"fig5_bop":{"metrics":{)"
+       << R"("wall_s":{"median":)" << wall_median << R"(,"mad":1e-9}}}}})";
+    return os.str();
+  };
+  write_file(fast, fig5_doc(1e-9));   // any real run regresses vs this
+  write_file(slow, fig5_doc(1000.0));  // any real run improves vs this
+  const std::string run = "'" + benchd() +
+                          "' --suite=analytic --filter=fig5 --repeats=2 "
+                          "--warmup=0 --quiet --bench-dir='" +
+                          CTS_BENCH_BIN_DIR + "' --out='" + dir +
+                          "/compare_out.json'";
+  EXPECT_EQ(shell(run + " --compare='" + slow + "' >/dev/null 2>/dev/null"), 0);
+  EXPECT_EQ(shell(run + " --compare='" + fast + "' >/dev/null 2>/dev/null"), 1);
+  // A missing baseline is a usage error, not a regression.
+  EXPECT_EQ(shell(run + " --compare='/no/such/BENCH.json' "
+                        ">/dev/null 2>/dev/null"),
+            2);
+}
+
+TEST(CtsBenchd, JsonLinesStreamsOneObjectPerRun) {
+  const std::string dir = ::testing::TempDir();
+  const std::string jsonl = dir + "/runs.jsonl";
+  const std::string cmd = "'" + benchd() +
+                          "' --suite=analytic --filter=fig5 --repeats=2 "
+                          "--warmup=1 --quiet --bench-dir='" +
+                          CTS_BENCH_BIN_DIR + "' --out='" + dir +
+                          "/jsonl_out.json' --json-lines='" + jsonl + "'";
+  ASSERT_EQ(shell(cmd), 0) << cmd;
+
+  std::ifstream in(jsonl);
+  std::string line;
+  int lines = 0;
+  int warmups = 0;
+  while (std::getline(in, line)) {
+    SCOPED_TRACE(line);
+    ASSERT_FALSE(line.empty());
+    std::string error;
+    // Each line must be a complete RFC 8259 document on its own.
+    ASSERT_TRUE(obs::json_parse_check(line, &error)) << error;
+    const obs::JsonValue run = obs::json_parse(line);
+    EXPECT_EQ(run.at("schema").as_string(), "cts.benchrun.v1");
+    EXPECT_EQ(run.at("bench").as_string(), "fig5_bop");
+    EXPECT_GT(run.at("wall_s").as_number(), 0.0);
+    if (run.at("warmup").as_bool()) ++warmups;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3);  // 1 warmup + 2 measured
+  EXPECT_EQ(warmups, 1);
+}
+
+TEST(CtsBenchd, AnalyticBenchPhasesCarryNamedSpans) {
+  // The analytic benches must attribute their inner loops (rate-function
+  // scans, curve evaluations) to named phases, not just the "bench" root.
+  const std::string out = ::testing::TempDir() + "/analytic_phases.json";
+  const std::string cmd = "'" + benchd() +
+                          "' --suite=analytic --filter=fig5 --repeats=2 "
+                          "--warmup=0 --quiet --bench-dir='" +
+                          CTS_BENCH_BIN_DIR + "' --out='" + out + "'";
+  ASSERT_EQ(shell(cmd), 0) << cmd;
+  const obs::JsonValue doc = obs::json_parse(read_file(out));
+  const obs::JsonValue& phases = doc.at("benches").at("fig5_bop").at("phases");
+  ASSERT_GE(phases.size(), 2u);
+  bool saw_rate_fn = false;
+  for (const obs::JsonValue& phase : phases.items) {
+    if (phase.at("phase").as_string() == "rate_fn") saw_rate_fn = true;
+  }
+  EXPECT_TRUE(saw_rate_fn);
+}
+
 TEST(CtsBenchd, ListAndUsageModes) {
   const std::string list = ::testing::TempDir() + "/benchd_list.txt";
   ASSERT_EQ(shell("'" + benchd() + "' --list > '" + list + "'"), 0);

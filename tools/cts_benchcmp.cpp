@@ -8,7 +8,9 @@
 // baseline, 1 when at least one metric regresses beyond BOTH the k x MAD
 // noise gate and the pct%% relative gate (see cts/obs/bench_compare.hpp),
 // and 2 on usage or parse errors — so CI can gate on the exit code.
-// --validate only runs the strict RFC 8259 validator over one file.
+// --validate checks one file: strict RFC 8259 grammar plus the
+// cts.bench.v1 schema tag — a document with a missing or unknown schema
+// is rejected (exit 2) with a message naming what was found.
 //
 // Note: pass value flags in --key=value form; positional file arguments
 // that follow a bare boolean flag would otherwise be consumed as its value.
@@ -22,8 +24,8 @@
 
 #include "cts/obs/bench_compare.hpp"
 #include "cts/obs/json.hpp"
+#include "cts/util/cli_registry.hpp"
 #include "cts/util/flags.hpp"
-#include "cts/util/table.hpp"
 
 namespace obs = cts::obs;
 namespace cu = cts::util;
@@ -42,8 +44,9 @@ void usage() {
       "usage: cts_benchcmp BASELINE.json CANDIDATE.json [--k=3] [--pct=5]\n"
       "                    [--metrics=wall_s,user_s,...] [--quiet]\n"
       "       cts_benchcmp --validate FILE.json\n\n"
-      "Exit codes: 0 no regression, 1 regression beyond threshold, 2 "
-      "usage/parse error.\n");
+      "--validate checks strict RFC 8259 grammar AND the cts.bench.v1\n"
+      "schema tag.  Exit codes: 0 no regression, 1 regression beyond\n"
+      "threshold, 2 usage/parse/schema error.\n");
 }
 
 /// Tokens not consumed by the flag parser, mirroring Flags' rule that a
@@ -74,12 +77,6 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
-std::string pct(double rel) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%+.1f%%", rel * 100.0);
-  return buf;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -90,7 +87,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     flags.warn_unknown(std::cerr,
-                       {"k", "pct", "metrics", "quiet", "validate", "help"});
+                       cu::cli::flag_names(cu::cli::kBenchcmpFlags));
     const bool quiet = flags.get_bool("quiet", false);
     const std::vector<std::string> files = positionals(argc, argv);
 
@@ -115,7 +112,19 @@ int main(int argc, char** argv) {
                      path.c_str(), error.c_str());
         return 2;
       }
-      if (!quiet) std::printf("%s: valid JSON\n", path.c_str());
+      // Valid JSON is not enough: a stray document must not pass as a
+      // perf baseline, so the schema tag is checked too.
+      try {
+        obs::require_bench_schema(obs::json_parse(text));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "cts_benchcmp: %s: %s\n", path.c_str(),
+                     e.what());
+        return 2;
+      }
+      if (!quiet) {
+        std::printf("%s: valid %s document\n", path.c_str(),
+                    obs::kBenchSchema);
+      }
       return 0;
     }
 
@@ -146,32 +155,11 @@ int main(int argc, char** argv) {
         obs::compare_bench_reports(baseline, candidate, options);
 
     if (!quiet) {
-      cu::TextTable table(
-          {"bench", "metric", "baseline", "candidate", "delta", "verdict"});
-      for (const obs::MetricDelta& d : report.deltas) {
-        table.add_row({d.bench, d.metric,
-                       cu::format_sci(d.baseline_median, 4),
-                       cu::format_sci(d.candidate_median, 4), pct(d.rel),
-                       d.regression
-                           ? "REGRESSION"
-                           : (d.improvement ? "improvement" : "ok")});
-      }
-      std::printf("%s\n", table.render().c_str());
-      for (const std::string& note : report.notes) {
-        std::printf("[note: %s]\n", note.c_str());
-      }
+      std::printf("%s", obs::format_compare_report(report).c_str());
     }
 
     if (report.has_regression()) {
-      for (const obs::MetricDelta& d : report.deltas) {
-        if (!d.regression) continue;
-        std::fprintf(stderr,
-                     "REGRESSION: %s %s %s (median %.6g -> %.6g, > %.1f x "
-                     "MAD and > %.1f%%)\n",
-                     d.bench.c_str(), d.metric.c_str(), pct(d.rel).c_str(),
-                     d.baseline_median, d.candidate_median, options.k_mad,
-                     options.min_rel * 100.0);
-      }
+      std::fputs(obs::format_regressions(report, options).c_str(), stderr);
       return 1;
     }
     if (!quiet) std::printf("no regressions beyond threshold\n");

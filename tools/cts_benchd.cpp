@@ -12,7 +12,16 @@
 //
 //   cts_benchd --suite=smoke --repeats=5            # the usual call
 //   cts_benchd --suite=full --repeats=3 --warmup=1  # everything (slow)
+//   cts_benchd --compare=BENCH_base.json            # run + gate in one shot
+//   cts_benchd --json-lines=runs.jsonl              # per-run soak stream
 //   cts_benchd --list                               # show the registry
+//
+// --compare runs the suite, writes the document, then gates it against
+// the given baseline with the same noise-aware rules (and exit codes) as
+// cts_benchcmp: 0 no regression, 1 regression, 2 errors (including a
+// bench that failed to run).  --json-lines appends one RFC 8259 JSON
+// object per run (schema cts.benchrun.v1, warmup runs flagged) as the
+// suite executes, so a soak loop can be tailed live.
 //
 // The simulation scale of every child is pinned via REPRO_REPS /
 // REPRO_FRAMES (defaults: 2 x 2000, override with --reps/--frames) so two
@@ -36,9 +45,11 @@
 #include <unistd.h>
 
 #include "bench_suite.hpp"
+#include "cts/obs/bench_compare.hpp"
 #include "cts/obs/bench_stats.hpp"
 #include "cts/obs/json.hpp"
 #include "cts/obs/perf.hpp"
+#include "cts/util/cli_registry.hpp"
 #include "cts/util/error.hpp"
 #include "cts/util/flags.hpp"
 
@@ -63,10 +74,14 @@ struct Options {
   std::string out;
   std::string bench_dir;
   std::string date;
+  std::string compare;     ///< baseline for the one-shot gate ("" = off)
+  std::string json_lines;  ///< per-run JSONL stream path ("" = off)
   long long repeats = 5;
   long long warmup = 1;
   long long repro_reps = 2;
   long long repro_frames = 2000;
+  double k_mad = 3.0;    ///< --compare noise gate
+  double min_rel = 0.05; ///< --compare relative gate
   bool keep_runs = false;
   bool quiet = false;
 };
@@ -102,15 +117,19 @@ void usage() {
       "usage: cts_benchd [--suite=smoke|sim|analytic|full] [--filter=SUBSTR]\n"
       "                  [--repeats=N] [--warmup=N] [--out=PATH]\n"
       "                  [--bench-dir=DIR] [--reps=N] [--frames=N]\n"
-      "                  [--date=YYYY-MM-DD] [--keep-runs] [--quiet] "
-      "[--list]\n\n"
+      "                  [--date=YYYY-MM-DD] [--compare=BASE.json] [--k=3]\n"
+      "                  [--pct=5] [--json-lines=PATH] [--keep-runs]\n"
+      "                  [--quiet] [--list]\n\n"
       "Runs the selected bench suite with warmup + N measured repeats per\n"
       "bench and writes a cts.bench.v1 document (default: "
       "BENCH_<date>.json\n"
       "in the current directory) with median/MAD/95%% CI per metric, peak\n"
       "RSS, user/sys CPU time, hardware counters when available, and a\n"
-      "per-phase span self-time table.  Compare two documents with\n"
-      "cts_benchcmp.\n");
+      "per-phase span self-time table.  --compare=BASE.json then gates the\n"
+      "fresh document against BASE in the same invocation, with\n"
+      "cts_benchcmp's rules and exit codes (0 ok, 1 regression, 2 error);\n"
+      "--json-lines=PATH streams one cts.benchrun.v1 JSON object per run\n"
+      "for soak monitoring.\n");
 }
 
 bool in_suite(const bench::BenchSpec& s, const std::string& suite) {
@@ -171,6 +190,32 @@ bool run_once(const Options& opt, const bench::BenchSpec& spec,
   return true;
 }
 
+/// One cts.benchrun.v1 line for the --json-lines stream: the flattened
+/// per-run sample, warmup runs included (flagged) so a soak monitor sees
+/// every execution as it happens.
+void write_json_line(std::ostream& os, const bench::BenchSpec& spec,
+                     long long run_index, bool warmup, const RunSample& s) {
+  std::ostringstream line;
+  obs::JsonWriter w(line);
+  w.begin_object();
+  w.key("schema").value("cts.benchrun.v1");
+  w.key("bench").value(spec.id);
+  w.key("kind").value(spec.kind);
+  w.key("run").value(static_cast<std::int64_t>(run_index));
+  w.key("warmup").value(warmup);
+  for (const char* name : kMetricNames) {
+    w.key(name).value(s.metrics.at(name));
+  }
+  w.key("hw_available").value(s.hw_available);
+  if (s.hw_available) {
+    const auto ipc = s.hw.find("ipc");
+    if (ipc != s.hw.end()) w.key("ipc").value(ipc->second);
+  }
+  w.end_object();
+  os << line.str() << '\n';
+  os.flush();  // a tailing soak monitor must see the line immediately
+}
+
 void write_summary(obs::JsonWriter& w, const obs::RobustSummary& s,
                    const std::vector<double>& samples) {
   w.begin_object();
@@ -221,6 +266,16 @@ int run(const Options& opt) {
     return 2;
   }
 
+  std::ofstream jsonl;
+  if (!opt.json_lines.empty()) {
+    jsonl.open(opt.json_lines);
+    if (!jsonl) {
+      std::fprintf(stderr, "cts_benchd: cannot write %s\n",
+                   opt.json_lines.c_str());
+      return 2;
+    }
+  }
+
   std::ostringstream body;
   obs::JsonWriter w(body);
   w.begin_object();
@@ -266,6 +321,9 @@ int run(const Options& opt) {
                      error.c_str());
         failed = true;
         break;
+      }
+      if (jsonl.is_open()) {
+        write_json_line(jsonl, *spec, i, i < opt.warmup, sample);
       }
       if (i >= opt.warmup) samples.push_back(std::move(sample));
     }
@@ -376,6 +434,42 @@ int run(const Options& opt) {
     std::fprintf(stderr, "[cts_benchd] per-run reports kept in %s\n",
                  run_dir.string().c_str());
   }
+
+  // One-shot gate: compare the document we just wrote against the given
+  // baseline with cts_benchcmp's rules and exit codes.  A bench that
+  // failed to run is an error (2), not a pass — a gate must never go
+  // green because the regressed bench crashed out of the measurement.
+  if (!opt.compare.empty()) {
+    if (failures != 0) {
+      std::fprintf(stderr,
+                   "cts_benchd: %d bench(es) failed; refusing to gate an "
+                   "incomplete document against %s\n",
+                   failures, opt.compare.c_str());
+      return 2;
+    }
+    const std::string base_text = read_file(opt.compare);
+    if (base_text.empty()) {
+      std::fprintf(stderr, "cts_benchd: cannot read baseline %s\n",
+                   opt.compare.c_str());
+      return 2;
+    }
+    obs::CompareOptions options;
+    options.k_mad = opt.k_mad;
+    options.min_rel = opt.min_rel;
+    const obs::JsonValue baseline = obs::json_parse(base_text);
+    const obs::JsonValue candidate = obs::json_parse(body.str());
+    const obs::CompareReport report =
+        obs::compare_bench_reports(baseline, candidate, options);
+    if (!opt.quiet) {
+      std::printf("%s", obs::format_compare_report(report).c_str());
+    }
+    if (report.has_regression()) {
+      std::fputs(obs::format_regressions(report, options).c_str(), stderr);
+      return 1;
+    }
+    if (!opt.quiet) std::printf("no regressions beyond threshold\n");
+    return 0;
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -388,10 +482,7 @@ int main(int argc, char** argv) {
       usage();
       return 0;
     }
-    flags.warn_unknown(
-        std::cerr, {"suite", "filter", "repeats", "warmup", "out",
-                    "bench-dir", "reps", "frames", "date", "keep-runs",
-                    "quiet", "help", "list"});
+    flags.warn_unknown(std::cerr, cu::cli::flag_names(cu::cli::kBenchdFlags));
 
     Options opt;
     opt.suite = flags.get_string("suite", opt.suite);
@@ -405,10 +496,14 @@ int main(int argc, char** argv) {
     opt.filter = flags.get_string("filter", "");
     opt.out = flags.get_string("out", "");
     opt.date = flags.get_string("date", "");
+    opt.compare = flags.get_string("compare", "");
+    opt.json_lines = flags.get_string("json-lines", "");
     opt.repeats = flags.get_int("repeats", opt.repeats);
     opt.warmup = flags.get_int("warmup", opt.warmup);
     opt.repro_reps = flags.get_int("reps", opt.repro_reps);
     opt.repro_frames = flags.get_int("frames", opt.repro_frames);
+    opt.k_mad = flags.get_double("k", opt.k_mad);
+    opt.min_rel = flags.get_double("pct", opt.min_rel * 100.0) / 100.0;
     opt.keep_runs = flags.get_bool("keep-runs", false);
     opt.quiet = flags.get_bool("quiet", false);
     cu::require(opt.repeats >= 1, "cts_benchd: --repeats must be >= 1");

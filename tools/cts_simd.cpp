@@ -45,6 +45,7 @@
 #include "cts/obs/run_report.hpp"
 #include "cts/sim/replication.hpp"
 #include "cts/sim/shard.hpp"
+#include "cts/util/cli_registry.hpp"
 #include "cts/util/error.hpp"
 #include "cts/util/flags.hpp"
 #include "cts/util/table.hpp"
@@ -353,8 +354,7 @@ int main(int argc, char** argv) {
       usage();
       return 0;
     }
-    flags.warn_unknown(std::cerr, {"shards", "out-dir", "metrics",
-                                   "keep-shards", "quiet", "help"});
+    flags.warn_unknown(std::cerr, cu::cli::flag_names(cu::cli::kSimdFlags));
     const bool quiet = flags.get_bool("quiet", false);
     const std::vector<std::string> args = positionals(argc, argv);
     if (args.empty()) {
