@@ -1,0 +1,26 @@
+// Retry policy for shard dispatch: bounded attempts with exponential
+// backoff.  Pure arithmetic — no clocks, no sleeping — so the schedule is
+// unit-testable; the dispatcher sleeps for delay_s() itself.
+
+#pragma once
+
+namespace cts::net {
+
+/// Bounded-attempt exponential backoff.  Attempt numbers are 1-based:
+/// attempt 1 is the first try (no delay before it), attempt k > 1 waits
+/// delay_s(k) after failure k-1.
+struct RetryPolicy {
+  int max_attempts = 3;
+  double base_delay_s = 0.2;  ///< delay before attempt 2
+  double multiplier = 2.0;
+  double max_delay_s = 5.0;
+
+  /// True while another attempt is allowed after `failures` failures.
+  bool should_retry(int failures) const { return failures < max_attempts; }
+
+  /// Backoff before attempt `attempt` (1-based): 0 for the first attempt,
+  /// then base * multiplier^(attempt-2), clamped to max_delay_s.
+  double delay_s(int attempt) const;
+};
+
+}  // namespace cts::net

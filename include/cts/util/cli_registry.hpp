@@ -116,7 +116,42 @@ inline constexpr FlagDoc kSimdFlags[] = {
     {"metrics", "PATH",
      "merged run report path (default simd_metrics.json)"},
     {"keep-shards", "", "keep per-worker shard files after the merge"},
+    {"timeout", "SECS",
+     "kill and report local workers still running after SECS (default 0 = "
+     "no deadline)"},
+    {"workers", "HOST:PORT,...",
+     "dispatch shards to these cts_shardd workers instead of local "
+     "fork/exec (BENCH becomes a registry id)"},
+    {"job-timeout", "SECS",
+     "per-job network deadline in --workers mode (default 300)"},
+    {"retries", "N",
+     "max dispatch attempts per shard across workers before local fallback "
+     "(default 3)"},
+    {"bench-dir", "DIR",
+     "bench-binary directory for the local fallback in --workers mode "
+     "(default: CTS_BENCH_DIR or the build-tree sibling bench/)"},
+    {"dispatch-metrics", "PATH",
+     "write the dispatcher's own cts::obs run report (jobs, retries, "
+     "per-worker latency) — kept out of the merged report by design"},
+    {"trace", "PATH", "write a Chrome-trace timeline of dispatch spans"},
     {"quiet", "", "suppress progress"},
+    {"help", "", "print usage and exit"},
+};
+
+/// tools/cts_shardd.
+inline constexpr FlagDoc kShardDFlags[] = {
+    {"port", "N", "TCP port to listen on (default 0 = ephemeral, printed)"},
+    {"port-file", "PATH", "write the bound port to PATH (for launchers)"},
+    {"bench-dir", "DIR",
+     "bench-binary directory (default: CTS_BENCH_DIR or the build-tree "
+     "sibling bench/)"},
+    {"work-dir", "DIR",
+     "scratch directory for shard files and job logs (default shardd_work)"},
+    {"max-jobs", "N", "exit 0 after serving N jobs (default 0 = forever)"},
+    {"fault-exit-after", "N",
+     "fault-injection hook: die abruptly (no reply) on the job after N "
+     "served — simulates a worker killed mid-shard (default off)"},
+    {"quiet", "", "suppress per-job progress on stderr"},
     {"help", "", "print usage and exit"},
 };
 
@@ -146,6 +181,8 @@ inline constexpr ToolDoc kTools[] = {
     {"cts_benchtrend", kBenchtrendFlags,
      sizeof(kBenchtrendFlags) / sizeof(kBenchtrendFlags[0])},
     {"cts_simd", kSimdFlags, sizeof(kSimdFlags) / sizeof(kSimdFlags[0])},
+    {"cts_shardd", kShardDFlags,
+     sizeof(kShardDFlags) / sizeof(kShardDFlags[0])},
 };
 
 /// The names of `flags`, for Flags::warn_unknown known-lists.

@@ -1,0 +1,45 @@
+// Child-process wait helpers with deadlines.
+//
+// The shard orchestrator (tools/cts_simd) and the network worker daemon
+// (tools/cts_shardd) both fork/exec bench shards and must never block in
+// waitpid forever on a wedged child: wait_child polls with WNOHANG under a
+// monotonic deadline, SIGKILLs a straggler when it expires, and reports
+// *how* the child ended — a signal-killed worker is named by its signal
+// ("killed by signal 11 (Segmentation fault)"), not folded into a generic
+// failure.
+
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+
+namespace cts::util {
+
+/// How a waited-on child ended.
+struct WaitOutcome {
+  enum class Kind {
+    kExited,    ///< normal exit; exit_code is valid
+    kSignaled,  ///< terminated by a signal; signal is valid
+    kTimeout,   ///< deadline expired; the child was SIGKILLed and reaped
+    kError,     ///< waitpid itself failed; error is valid
+  };
+
+  Kind kind = Kind::kError;
+  int exit_code = 0;    ///< kExited
+  int signal = 0;       ///< kSignaled
+  double waited_s = 0;  ///< wall time spent waiting
+  std::string error;    ///< kError
+
+  bool ok() const { return kind == Kind::kExited && exit_code == 0; }
+
+  /// Human-readable account: "exited with status 3", "killed by signal 15
+  /// (Terminated)", "timed out after 5.0s (killed)".
+  std::string describe() const;
+};
+
+/// Waits for `pid`.  timeout_s < 0 blocks indefinitely; otherwise the
+/// child is polled until the deadline, then SIGKILLed and reaped (kTimeout).
+WaitOutcome wait_child(pid_t pid, double timeout_s);
+
+}  // namespace cts::util

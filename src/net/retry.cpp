@@ -1,0 +1,15 @@
+#include "cts/net/retry.hpp"
+
+namespace cts::net {
+
+double RetryPolicy::delay_s(int attempt) const {
+  if (attempt <= 1) return 0.0;
+  double delay = base_delay_s;
+  for (int i = 2; i < attempt; ++i) {
+    delay *= multiplier;
+    if (delay >= max_delay_s) return max_delay_s;
+  }
+  return delay < max_delay_s ? delay : max_delay_s;
+}
+
+}  // namespace cts::net

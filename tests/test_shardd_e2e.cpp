@@ -1,0 +1,228 @@
+// End-to-end tests for the networked shard execution layer: cts_shardd
+// workers on loopback driven by `cts_simd run --workers=`.
+//
+//   * a 2-worker loopback run must produce a merged report that passes
+//     `cts_simd diff` against a single-process run of the same bench at
+//     the same seed and scale (the bit-identity guarantee survives the
+//     network hop);
+//   * when a worker dies mid-job (--fault-exit-after), its shard must be
+//     retried on the other worker and the merged report still diff clean;
+//   * when every worker is down, the dispatcher falls back to local
+//     fork/exec and still completes.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include <sys/wait.h>
+
+#include "cts/obs/json.hpp"
+#include "cts/util/file.hpp"
+
+namespace obs = cts::obs;
+namespace cu = cts::util;
+
+namespace {
+
+/// Runs `command` through the shell and returns the child's exit code.
+int shell(const std::string& command) {
+  const int rc = std::system(command.c_str());
+  if (rc == -1) return -1;
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+#if defined(CTS_TOOLS_BIN_DIR) && defined(CTS_BENCH_BIN_DIR)
+
+const char* kScale = "REPRO_REPS=3 REPRO_FRAMES=400 ";
+const char* kBench = "fig9_sim_markov";
+
+std::string simd() { return std::string(CTS_TOOLS_BIN_DIR) + "/cts_simd"; }
+std::string shardd() {
+  return std::string(CTS_TOOLS_BIN_DIR) + "/cts_shardd";
+}
+
+/// Starts a cts_shardd in the background and returns its bound port.
+/// `extra` carries --max-jobs / --fault-exit-after.
+int start_worker(const std::string& dir, const std::string& tag,
+                 const std::string& extra) {
+  const std::string port_file = dir + "/" + tag + ".port";
+  // A port file left behind by a previous invocation would be read as the
+  // new daemon's port before the daemon overwrites it — and may even point
+  // at a still-running stale daemon.  Remove it so any content we poll up
+  // below is from the daemon we just launched.
+  shell("rm -f '" + port_file + "'");
+  const std::string command = "'" + shardd() + "' --port=0 --port-file='" +
+                              port_file + "' --bench-dir='" +
+                              CTS_BENCH_BIN_DIR + "' --work-dir='" + dir +
+                              "/" + tag + "_work' " + extra + " --quiet > '" +
+                              dir + "/" + tag + ".log' 2>&1 &";
+  if (shell(command) != 0) return -1;
+  // The daemon writes the ephemeral port once it is listening.
+  for (int i = 0; i < 100; ++i) {
+    std::string text;
+    if (cu::read_text_file(port_file, &text, nullptr) && !text.empty()) {
+      return std::atoi(text.c_str());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return -1;
+}
+
+/// Wipes and recreates the test's scratch directory: state left by a
+/// previous invocation (port files, shard outputs, daemon logs) must never
+/// leak into this run.
+int fresh_dir(const std::string& dir) {
+  return shell("rm -rf '" + dir + "' && mkdir -p '" + dir + "'");
+}
+
+/// The single-process reference report for the diff, produced once.
+std::string reference_metrics(const std::string& dir) {
+  const std::string path = dir + "/single_metrics.json";
+  const std::string bench =
+      std::string(CTS_BENCH_BIN_DIR) + "/bench_" + kBench;
+  EXPECT_EQ(shell(kScale + ("'" + bench + "' --quiet --metrics='" + path +
+                            "' > '" + dir + "/single.log' 2>&1")),
+            0);
+  return path;
+}
+
+TEST(ShardDE2E, LoopbackTwoWorkerRunDiffsCleanAgainstSingleProcess) {
+  const std::string dir = ::testing::TempDir() + "/shardd_loopback";
+  ASSERT_EQ(fresh_dir(dir), 0);
+  const std::string single = reference_metrics(dir);
+
+  const int p1 = start_worker(dir, "w1", "--max-jobs=1");
+  const int p2 = start_worker(dir, "w2", "--max-jobs=1");
+  ASSERT_GT(p1, 0);
+  ASSERT_GT(p2, 0);
+
+  const std::string merged = dir + "/net_metrics.json";
+  const std::string dispatch = dir + "/dispatch.json";
+  ASSERT_EQ(
+      shell(kScale +
+            ("'" + simd() + "' run " + kBench + " --workers=127.0.0.1:" +
+             std::to_string(p1) + ",127.0.0.1:" + std::to_string(p2) +
+             " --shards=2 --out-dir='" + dir + "/net_out' --metrics='" +
+             merged + "' --dispatch-metrics='" + dispatch +
+             "' --bench-dir='" + CTS_BENCH_BIN_DIR + "' --quiet > '" + dir +
+             "/net.log' 2>&1")),
+      0);
+
+  EXPECT_EQ(
+      shell("'" + simd() + "' diff '" + single + "' '" + merged + "' --quiet"),
+      0);
+
+  // Both workers actually served a job, and nothing fell back to local
+  // execution — this was a genuinely networked run.
+  const obs::JsonValue doc =
+      obs::json_parse(cu::read_text_file(dispatch));
+  const obs::JsonValue& counters = doc.at("metrics").at("counters");
+  EXPECT_EQ(counters.at("simd.net.jobs_ok").as_number(), 2.0);
+  EXPECT_EQ(counters.at("simd.net.worker.0.ok").as_number(), 1.0);
+  EXPECT_EQ(counters.at("simd.net.worker.1.ok").as_number(), 1.0);
+  EXPECT_EQ(counters.find("simd.net.local_fallback_shards"), nullptr);
+}
+
+TEST(ShardDE2E, WorkerKilledMidShardIsRetriedOnTheOtherWorker) {
+  const std::string dir = ::testing::TempDir() + "/shardd_fault";
+  ASSERT_EQ(fresh_dir(dir), 0);
+  const std::string single = reference_metrics(dir);
+
+  // Worker 1 dies abruptly on its first job (after reading the request,
+  // before any reply): from the dispatcher's side, a machine lost
+  // mid-shard.  Worker 2 is healthy and must absorb both shards — a
+  // --max-jobs budget of exactly 2 also makes it exit when the test is
+  // done instead of lingering as a stale daemon.
+  const int p1 = start_worker(dir, "w1", "--fault-exit-after=0");
+  const int p2 = start_worker(dir, "w2", "--max-jobs=2");
+  ASSERT_GT(p1, 0);
+  ASSERT_GT(p2, 0);
+
+  const std::string merged = dir + "/net_metrics.json";
+  const std::string dispatch = dir + "/dispatch.json";
+  ASSERT_EQ(
+      shell(kScale +
+            ("'" + simd() + "' run " + kBench + " --workers=127.0.0.1:" +
+             std::to_string(p1) + ",127.0.0.1:" + std::to_string(p2) +
+             " --shards=2 --out-dir='" + dir + "/net_out' --metrics='" +
+             merged + "' --dispatch-metrics='" + dispatch +
+             "' --bench-dir='" + CTS_BENCH_BIN_DIR + "' --quiet > '" + dir +
+             "/net.log' 2>&1")),
+      0);
+
+  // The run survived the killed worker and still merges bit-identically.
+  EXPECT_EQ(
+      shell("'" + simd() + "' diff '" + single + "' '" + merged + "' --quiet"),
+      0);
+
+  // The dispatch record shows the reassignment: failures on worker 0, all
+  // successful jobs on worker 1, no local fallback.
+  const obs::JsonValue doc =
+      obs::json_parse(cu::read_text_file(dispatch));
+  const obs::JsonValue& counters = doc.at("metrics").at("counters");
+  EXPECT_GE(counters.at("simd.net.jobs_failed").as_number(), 1.0);
+  EXPECT_GE(counters.at("simd.net.worker.0.fail").as_number(), 1.0);
+  EXPECT_EQ(counters.at("simd.net.worker.1.ok").as_number(), 2.0);
+  EXPECT_EQ(counters.find("simd.net.worker.0.ok"), nullptr);
+  EXPECT_EQ(counters.find("simd.net.local_fallback_shards"), nullptr);
+}
+
+TEST(ShardDE2E, AllWorkersDownFallsBackToLocalExecution) {
+  const std::string dir = ::testing::TempDir() + "/shardd_down";
+  ASSERT_EQ(fresh_dir(dir), 0);
+  const std::string single = reference_metrics(dir);
+
+  // Nothing listens on these ports (1 and 2 are privileged and unbound in
+  // the test environment): every connect is refused immediately.
+  const std::string merged = dir + "/net_metrics.json";
+  const std::string dispatch = dir + "/dispatch.json";
+  ASSERT_EQ(
+      shell(kScale +
+            ("'" + simd() + "' run " + kBench +
+             " --workers=127.0.0.1:1,127.0.0.1:2 --shards=2 --out-dir='" +
+             dir + "/net_out' --metrics='" + merged +
+             "' --dispatch-metrics='" + dispatch + "' --bench-dir='" +
+             CTS_BENCH_BIN_DIR + "' --quiet > '" + dir + "/net.log' 2>&1")),
+      0);
+  EXPECT_EQ(
+      shell("'" + simd() + "' diff '" + single + "' '" + merged + "' --quiet"),
+      0);
+
+  const obs::JsonValue doc =
+      obs::json_parse(cu::read_text_file(dispatch));
+  const obs::JsonValue& counters = doc.at("metrics").at("counters");
+  EXPECT_EQ(counters.at("simd.net.local_fallback_shards").as_number(), 2.0);
+  EXPECT_EQ(counters.at("simd.net.workers_down").as_number(), 2.0);
+  EXPECT_EQ(counters.find("simd.net.jobs_ok"), nullptr);
+}
+
+TEST(ShardDE2E, DaemonRejectsAnUnknownBenchId) {
+  const std::string dir = ::testing::TempDir() + "/shardd_reject";
+  ASSERT_EQ(fresh_dir(dir), 0);
+  const int p1 = start_worker(dir, "w1", "--max-jobs=1");
+  ASSERT_GT(p1, 0);
+  // An id outside the registry: the daemon must refuse (never exec), and
+  // the client side must fail with exit 2 before even dispatching.
+  EXPECT_EQ(shell("'" + simd() +
+                  "' run ../../bin/evil --workers=127.0.0.1:" +
+                  std::to_string(p1) + " --shards=1 --out-dir='" + dir +
+                  "/out' --quiet > /dev/null 2>&1"),
+            2);
+  // Drain the worker so the background daemon exits (--max-jobs=1): send
+  // one well-formed run so it serves its job and terminates.
+  const std::string merged = dir + "/net_metrics.json";
+  EXPECT_EQ(shell(kScale + ("'" + simd() + "' run " + kBench +
+                            " --workers=127.0.0.1:" + std::to_string(p1) +
+                            " --shards=1 --out-dir='" + dir +
+                            "/out' --metrics='" + merged +
+                            "' --bench-dir='" + CTS_BENCH_BIN_DIR +
+                            "' --quiet > /dev/null 2>&1")),
+            0);
+}
+
+#endif  // CTS_TOOLS_BIN_DIR && CTS_BENCH_BIN_DIR
+
+}  // namespace

@@ -1,0 +1,149 @@
+// Unit tests for the file helpers (read_text_file / make_dirs) and the
+// deadline child-waiter (wait_child) that back the cts_simd / cts_shardd
+// robustness fixes: unreadable paths must fail naming the path and errno,
+// nested --out-dir chains must be created like mkdir -p, and a wedged
+// child must be killed and reported with the terminating signal named.
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "cts/util/error.hpp"
+#include "cts/util/file.hpp"
+#include "cts/util/subprocess.hpp"
+
+namespace cu = cts::util;
+
+namespace {
+
+std::string temp_path(const std::string& leaf) {
+  return ::testing::TempDir() + "/" + leaf;
+}
+
+TEST(ReadTextFile, ReadsContents) {
+  const std::string path = temp_path("read_ok.txt");
+  std::ofstream(path) << "hello\nworld\n";
+  EXPECT_EQ(cu::read_text_file(path), "hello\nworld\n");
+}
+
+TEST(ReadTextFile, EmptyExistingFileIsEmptyStringNotError) {
+  const std::string path = temp_path("read_empty.txt");
+  std::ofstream(path).flush();
+  EXPECT_EQ(cu::read_text_file(path), "");
+}
+
+TEST(ReadTextFile, MissingFileThrowsNamingPathAndErrno) {
+  const std::string path = temp_path("no_such_file.json");
+  try {
+    cu::read_text_file(path);
+    FAIL() << "expected InvalidArgument";
+  } catch (const cu::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("No such file"), std::string::npos) << what;
+  }
+}
+
+TEST(ReadTextFile, NonThrowingVariantReportsTheSameMessage) {
+  const std::string path = temp_path("no_such_file_2.json");
+  std::string out = "unchanged";
+  std::string error;
+  EXPECT_FALSE(cu::read_text_file(path, &out, &error));
+  EXPECT_EQ(out, "unchanged");
+  EXPECT_NE(error.find(path), std::string::npos) << error;
+
+  EXPECT_TRUE(cu::read_text_file(__FILE__, &out, &error));
+  EXPECT_NE(out.find("NonThrowingVariantReportsTheSameMessage"),
+            std::string::npos);
+}
+
+TEST(MakeDirs, CreatesNestedChain) {
+  const std::string root = temp_path("mkdirs_a");
+  const std::string nested = root + "/b/c/d";
+  cu::make_dirs(nested);
+  struct stat st{};
+  ASSERT_EQ(::stat(nested.c_str(), &st), 0);
+  EXPECT_TRUE(S_ISDIR(st.st_mode));
+  cu::make_dirs(nested);  // idempotent: an existing chain is not an error
+}
+
+TEST(MakeDirs, ExistingFileInTheChainThrowsNamingComponent) {
+  const std::string root = temp_path("mkdirs_file");
+  std::ofstream(root) << "not a directory";
+  try {
+    cu::make_dirs(root + "/sub");
+    FAIL() << "expected InvalidArgument";
+  } catch (const cu::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find(root), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MakeDirs, PathThatIsAFileThrows) {
+  const std::string path = temp_path("mkdirs_leaf_file");
+  std::ofstream(path) << "x";
+  EXPECT_THROW(cu::make_dirs(path), cu::InvalidArgument);
+}
+
+TEST(WaitChild, ReportsCleanExit) {
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) ::_exit(0);
+  const cu::WaitOutcome outcome = cu::wait_child(pid, 10.0);
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.kind, cu::WaitOutcome::Kind::kExited);
+}
+
+TEST(WaitChild, ReportsNonZeroExitStatus) {
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) ::_exit(7);
+  const cu::WaitOutcome outcome = cu::wait_child(pid, 10.0);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.kind, cu::WaitOutcome::Kind::kExited);
+  EXPECT_EQ(outcome.exit_code, 7);
+  EXPECT_NE(outcome.describe().find("status 7"), std::string::npos)
+      << outcome.describe();
+}
+
+TEST(WaitChild, NamesTheTerminatingSignal) {
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::raise(SIGTERM);
+    ::_exit(0);  // not reached
+  }
+  const cu::WaitOutcome outcome = cu::wait_child(pid, 10.0);
+  EXPECT_EQ(outcome.kind, cu::WaitOutcome::Kind::kSignaled);
+  EXPECT_EQ(outcome.signal, SIGTERM);
+  const std::string text = outcome.describe();
+  EXPECT_NE(text.find("signal"), std::string::npos) << text;
+  EXPECT_NE(text.find("Terminated"), std::string::npos) << text;
+}
+
+TEST(WaitChild, KillsAndReportsAStragglerPastTheDeadline) {
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // A worker that would block the orchestrator forever without the
+    // deadline (pre-fix cts_simd sat in waitpid indefinitely).
+    for (;;) ::pause();
+  }
+  const cu::WaitOutcome outcome = cu::wait_child(pid, 0.2);
+  EXPECT_EQ(outcome.kind, cu::WaitOutcome::Kind::kTimeout);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_NE(outcome.describe().find("timed out"), std::string::npos)
+      << outcome.describe();
+  // The child is reaped (kill + blocking wait), not leaked: a second wait
+  // on the pid fails because it no longer exists.
+  EXPECT_EQ(::waitpid(pid, nullptr, WNOHANG), -1);
+}
+
+}  // namespace

@@ -25,19 +25,13 @@
 #include "cts/obs/bench_compare.hpp"
 #include "cts/obs/json.hpp"
 #include "cts/util/cli_registry.hpp"
+#include "cts/util/file.hpp"
 #include "cts/util/flags.hpp"
 
 namespace obs = cts::obs;
 namespace cu = cts::util;
 
 namespace {
-
-std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
 
 void usage() {
   std::printf(
@@ -101,11 +95,8 @@ int main(int argc, char** argv) {
         }
         path = files.front();
       }
-      const std::string text = read_file(path);
-      if (text.empty()) {
-        std::fprintf(stderr, "cts_benchcmp: cannot read %s\n", path.c_str());
-        return 2;
-      }
+      // Throws with path + errno on an unreadable file (exit 2 below).
+      const std::string text = cu::read_text_file(path);
       std::string error;
       if (!obs::json_parse_check(text, &error)) {
         std::fprintf(stderr, "cts_benchcmp: %s: invalid JSON: %s\n",
@@ -142,12 +133,8 @@ int main(int argc, char** argv) {
     obs::JsonValue baseline;
     obs::JsonValue candidate;
     for (int i = 0; i < 2; ++i) {
-      const std::string text = read_file(files[static_cast<std::size_t>(i)]);
-      if (text.empty()) {
-        std::fprintf(stderr, "cts_benchcmp: cannot read %s\n",
-                     files[static_cast<std::size_t>(i)].c_str());
-        return 2;
-      }
+      const std::string text =
+          cu::read_text_file(files[static_cast<std::size_t>(i)]);
       (i == 0 ? baseline : candidate) = obs::json_parse(text);
     }
 

@@ -51,6 +51,7 @@
 #include "cts/obs/perf.hpp"
 #include "cts/util/cli_registry.hpp"
 #include "cts/util/error.hpp"
+#include "cts/util/file.hpp"
 #include "cts/util/flags.hpp"
 
 namespace fs = std::filesystem;
@@ -95,13 +96,6 @@ struct RunSample {
   std::map<std::string, double> phase_self_us;     ///< phases[].self_us
   std::map<std::string, double> phase_spans;       ///< phases[].spans
 };
-
-std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
 
 std::string today_utc() {
   const std::time_t now = std::time(nullptr);
@@ -155,11 +149,8 @@ bool run_once(const Options& opt, const bench::BenchSpec& spec,
              std::to_string(rc);
     return false;
   }
-  const std::string text = read_file(perf_path);
-  if (text.empty()) {
-    *error = std::string("no perf report at ") + perf_path;
-    return false;
-  }
+  std::string text;
+  if (!cu::read_text_file(perf_path, &text, error)) return false;
   try {
     const obs::JsonValue doc = obs::json_parse(text);
     cu::require(doc.at("schema").as_string() == obs::PerfReport::kSchema,
@@ -447,10 +438,11 @@ int run(const Options& opt) {
                    failures, opt.compare.c_str());
       return 2;
     }
-    const std::string base_text = read_file(opt.compare);
-    if (base_text.empty()) {
-      std::fprintf(stderr, "cts_benchd: cannot read baseline %s\n",
-                   opt.compare.c_str());
+    std::string base_text;
+    std::string read_error;
+    if (!cu::read_text_file(opt.compare, &base_text, &read_error)) {
+      std::fprintf(stderr, "cts_benchd: cannot read baseline: %s\n",
+                   read_error.c_str());
       return 2;
     }
     obs::CompareOptions options;

@@ -39,6 +39,7 @@
 #include "cts/obs/svg.hpp"
 #include "cts/util/cli_registry.hpp"
 #include "cts/util/error.hpp"
+#include "cts/util/file.hpp"
 #include "cts/util/flags.hpp"
 
 namespace fs = std::filesystem;
@@ -46,13 +47,6 @@ namespace obs = cts::obs;
 namespace cu = cts::util;
 
 namespace {
-
-std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
 
 bool write_file(const std::string& path, const std::string& text) {
   std::ofstream out(path);
@@ -124,9 +118,10 @@ int validate(const std::vector<std::string>& files, bool quiet) {
   }
   int bad = 0;
   for (const std::string& path : files) {
-    const std::string text = read_file(path);
-    if (text.empty()) {
-      std::fprintf(stderr, "cts_benchtrend: cannot read %s\n", path.c_str());
+    std::string text;
+    std::string read_error;
+    if (!cu::read_text_file(path, &text, &read_error)) {
+      std::fprintf(stderr, "cts_benchtrend: %s\n", read_error.c_str());
       ++bad;
       continue;
     }
@@ -200,12 +195,8 @@ int main(int argc, char** argv) {
     // hard error, never skipped silently.
     std::vector<obs::BaselineDoc> docs;
     for (const std::string& path : files) {
-      const std::string text = read_file(path);
-      if (text.empty()) {
-        std::fprintf(stderr, "cts_benchtrend: cannot read %s\n", path.c_str());
-        return 2;
-      }
-      docs.push_back(obs::parse_baseline(path, text));
+      // Throws with path + errno on an unreadable file (exit 2 below).
+      docs.push_back(obs::parse_baseline(path, cu::read_text_file(path)));
     }
     obs::sort_baselines(docs);
 

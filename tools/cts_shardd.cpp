@@ -1,0 +1,273 @@
+// cts-shardd: network shard-execution worker for the replication harness.
+//
+//   cts_shardd [--port=N] [--port-file=PATH] [--bench-dir=DIR]
+//              [--work-dir=DIR] [--max-jobs=N] [--fault-exit-after=N]
+//              [--quiet]
+//
+// Listens on a TCP port (0 = ephemeral; the chosen port is printed and,
+// with --port-file, written to a file the launcher can poll), accepts one
+// length-prefixed cts.job.v1 request per connection, runs the requested
+// replication shard as a child process, and streams the child's
+// cts.shard.v1 file back verbatim inside a cts.jobresult.v1 reply (or a
+// structured error: unknown bench, missing binary, child crash/signal/
+// timeout).  tools/cts_simd `run --workers=` is the dispatching client.
+//
+// Safety properties:
+//   * the job names a bench by REGISTRY id (bench_suite.hpp); the daemon
+//     resolves it against its own --bench-dir and refuses anything not in
+//     the registry, so a client can never exec an arbitrary path;
+//   * job env is restricted to the REPRO_* scale allowlist, and the
+//     child's REPRO_* environment is wiped first, so the shard runs at
+//     exactly the requested scale regardless of the daemon's own env;
+//   * children are waited with a deadline (job timeout_s, default 600s)
+//     and SIGKILLed when it expires — a wedged bench can not wedge the
+//     worker.
+//
+// --fault-exit-after=N is a fault-injection hook for the resilience tests
+// and drills: after N jobs are served, the daemon dies abruptly (_Exit)
+// upon READING the next request — from the client's side, a worker killed
+// mid-shard.  --max-jobs=N exits cleanly after N jobs (CI smoke jobs).
+//
+// Exit codes: 0 clean shutdown (--max-jobs reached), 2 usage/setup errors.
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_suite.hpp"
+#include "cts/net/job.hpp"
+#include "cts/net/socket.hpp"
+#include "cts/sim/shard.hpp"
+#include "cts/util/cli_registry.hpp"
+#include "cts/util/error.hpp"
+#include "cts/util/file.hpp"
+#include "cts/util/flags.hpp"
+#include "cts/util/subprocess.hpp"
+
+namespace fs = std::filesystem;
+namespace net = cts::net;
+namespace cu = cts::util;
+
+namespace {
+
+constexpr double kDefaultJobTimeoutS = 600.0;
+constexpr double kRequestReadTimeoutS = 30.0;
+constexpr double kReplyWriteTimeoutS = 60.0;
+
+struct Options {
+  std::uint16_t port = 0;
+  std::string port_file;
+  std::string bench_dir;
+  std::string work_dir = "shardd_work";
+  long long max_jobs = 0;          ///< 0: serve forever
+  long long fault_exit_after = -1; ///< <0: disabled
+  bool quiet = false;
+};
+
+void usage() {
+  std::printf(
+      "usage: cts_shardd [--port=N] [--port-file=PATH] [--bench-dir=DIR]\n"
+      "                  [--work-dir=DIR] [--max-jobs=N]\n"
+      "                  [--fault-exit-after=N] [--quiet]\n\n"
+      "TCP worker for `cts_simd run --workers=`: accepts cts.job.v1 shard\n"
+      "jobs (bench registry id + shard spec + REPRO_* env + deadline), runs\n"
+      "the shard as a child process, and streams the cts.shard.v1 payload\n"
+      "back.  --port=0 picks an ephemeral port (printed, and written to\n"
+      "--port-file when given).\n"
+      "Exit codes: 0 clean shutdown (--max-jobs), 2 usage or setup error.\n");
+}
+
+double monotonic_s() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// Runs one shard job to completion; fills in a cts.jobresult.v1 reply.
+net::JobResult run_job(const Options& opt, const net::JobRequest& job,
+                       long long job_index) {
+  net::JobResult result;
+  const double start = monotonic_s();
+
+  // The registry is the allowlist: an id it does not know throws here and
+  // becomes a structured error reply, never an exec.
+  const bench::BenchSpec& spec = bench::spec(job.bench_id);
+  const std::string binary = (fs::path(opt.bench_dir) / spec.binary).string();
+  if (::access(binary.c_str(), X_OK) != 0) {
+    result.error = "bench binary " + binary + " is not executable";
+    return result;
+  }
+
+  const std::string tag = std::to_string(job_index);
+  const std::string shard_path =
+      (fs::path(opt.work_dir) / ("job_" + tag + "_shard.json")).string();
+  const std::string log_path =
+      (fs::path(opt.work_dir) / ("job_" + tag + ".log")).string();
+  const std::string shard_flag =
+      "--shard=" + cts::sim::format_shard_spec({job.shard_index,
+                                                job.shard_count});
+  const std::string out_flag = "--shard-out=" + shard_path;
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    result.error = std::string("fork failed: ") + std::strerror(errno);
+    return result;
+  }
+  if (pid == 0) {
+    // The job's env is authoritative: wipe every scale override the daemon
+    // itself inherited, then apply exactly what the client sent.
+    for (const std::string& name : net::job_env_allowlist()) {
+      ::unsetenv(name.c_str());
+    }
+    ::unsetenv("REPRO_SHARD");
+    for (const auto& [name, value] : job.env) {
+      ::setenv(name.c_str(), value.c_str(), 1);
+    }
+    std::FILE* log = std::freopen(log_path.c_str(), "w", stdout);
+    if (log != nullptr) ::dup2(STDOUT_FILENO, STDERR_FILENO);
+    ::execl(binary.c_str(), binary.c_str(), shard_flag.c_str(),
+            out_flag.c_str(), "--quiet", static_cast<char*>(nullptr));
+    std::perror("cts_shardd: execl");
+    std::_Exit(127);
+  }
+
+  const double timeout_s =
+      job.timeout_s > 0 ? job.timeout_s : kDefaultJobTimeoutS;
+  const cu::WaitOutcome outcome = cu::wait_child(pid, timeout_s);
+  result.elapsed_s = monotonic_s() - start;
+  if (!outcome.ok()) {
+    result.error = std::string(spec.binary) + " " + outcome.describe() +
+                   " (shard " + std::to_string(job.shard_index) + "/" +
+                   std::to_string(job.shard_count) + ")";
+    ::unlink(shard_path.c_str());
+    return result;
+  }
+
+  try {
+    const std::string text = cu::read_text_file(shard_path);
+    (void)cts::sim::parse_shard_file(text);  // refuse to ship a broken file
+    result.shard_json = text;
+    result.ok = true;
+  } catch (const cu::Error& e) {
+    result.error = std::string("shard file invalid: ") + e.what();
+  }
+  ::unlink(shard_path.c_str());
+  return result;
+}
+
+int serve(const Options& opt) {
+  std::uint16_t port = 0;
+  net::Socket listener = net::listen_on(opt.port, &port);
+  std::printf("cts_shardd: listening on port %u (bench dir %s)\n",
+              static_cast<unsigned>(port), opt.bench_dir.c_str());
+  std::fflush(stdout);
+  if (!opt.port_file.empty()) {
+    std::ofstream pf(opt.port_file);
+    pf << port << "\n";
+    if (!pf) {
+      std::fprintf(stderr, "cts_shardd: cannot write port file %s\n",
+                   opt.port_file.c_str());
+      return 2;
+    }
+  }
+
+  long long served = 0;
+  for (;;) {
+    net::Socket conn = net::accept_connection(listener, 3600.0);
+    if (!conn.valid()) continue;  // accept window elapsed; keep listening
+    try {
+      const std::string request = net::recv_frame(conn, kRequestReadTimeoutS);
+      if (opt.fault_exit_after >= 0 && served >= opt.fault_exit_after) {
+        // Fault-injection hook: die abruptly mid-job, reply never sent.
+        std::_Exit(137);
+      }
+      net::JobResult result;
+      try {
+        const net::JobRequest job = net::parse_job(request);
+        if (!opt.quiet) {
+          std::fprintf(stderr, "[job %lld: %s shard %zu/%zu]\n", served,
+                       job.bench_id.c_str(), job.shard_index,
+                       job.shard_count);
+        }
+        result = run_job(opt, job, served);
+      } catch (const cu::Error& e) {
+        result.ok = false;
+        result.error = e.what();
+      }
+      if (!opt.quiet && !result.ok) {
+        std::fprintf(stderr, "[job %lld failed: %s]\n", served,
+                     result.error.c_str());
+      }
+      net::send_frame(conn, net::write_job_result_json(result),
+                      kReplyWriteTimeoutS);
+      ++served;
+    } catch (const net::NetError& e) {
+      // A broken connection affects only that client; keep serving.
+      if (!opt.quiet) {
+        std::fprintf(stderr, "[connection error: %s]\n", e.what());
+      }
+    }
+    if (opt.max_jobs > 0 && served >= opt.max_jobs) {
+      if (!opt.quiet) {
+        std::fprintf(stderr, "[served %lld job(s); exiting (--max-jobs)]\n",
+                     served);
+      }
+      return 0;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const cu::Flags flags(argc, argv);
+    if (flags.get_bool("help", false)) {
+      usage();
+      return 0;
+    }
+    flags.warn_unknown(std::cerr, cu::cli::flag_names(cu::cli::kShardDFlags));
+
+    Options opt;
+    const std::int64_t port = flags.get_int("port", 0);
+    if (port < 0 || port > 65535) {
+      std::fprintf(stderr, "cts_shardd: --port must be in [0, 65535]\n");
+      return 2;
+    }
+    opt.port = static_cast<std::uint16_t>(port);
+    opt.port_file = flags.get_string("port-file", "");
+    opt.work_dir = flags.get_string("work-dir", "shardd_work");
+    opt.max_jobs = flags.get_int("max-jobs", 0);
+    opt.fault_exit_after = flags.get_int("fault-exit-after", -1);
+    opt.quiet = flags.get_bool("quiet", false);
+
+    // Bench binaries: --bench-dir beats CTS_BENCH_DIR beats the build-tree
+    // layout convention (tools/ and bench/ are sibling directories).
+    opt.bench_dir = flags.get_string("bench-dir", "");
+    if (opt.bench_dir.empty()) {
+      const char* env = std::getenv("CTS_BENCH_DIR");
+      if (env != nullptr && env[0] != '\0') {
+        opt.bench_dir = env;
+      } else {
+        opt.bench_dir =
+            (fs::path(argv[0]).parent_path() / ".." / "bench").string();
+      }
+    }
+    cu::make_dirs(opt.work_dir);
+    return serve(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cts_shardd: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,23 +1,40 @@
-// cts-simd: multi-process shard orchestrator for the replication benches.
+// cts-simd: multi-process / multi-machine shard orchestrator for the
+// replication benches.
 //
 //   cts_simd run BENCH_BINARY [--shards=N] [--out-dir=DIR] [--metrics=PATH]
-//                             [--keep-shards] [--quiet]
+//                             [--keep-shards] [--timeout=SECS] [--quiet]
+//   cts_simd run BENCH_ID --workers=HOST:PORT,... [--shards=N]
+//                             [--job-timeout=SECS] [--retries=N]
+//                             [--bench-dir=DIR] [--dispatch-metrics=PATH]
+//                             [--trace=PATH] [...common flags]
 //   cts_simd merge SHARD.json... [--metrics=PATH] [--quiet]
 //   cts_simd diff REPORT_A.json REPORT_B.json [--quiet]
 //
-// `run` fork/execs N worker shards of BENCH_BINARY (each gets
+// Local `run` fork/execs N worker shards of BENCH_BINARY (each gets
 // --shard=i/N --shard-out=<dir>/shard_i.json --quiet, stdout/stderr to
-// <dir>/shard_i.log), waits for all of them, merges the shard files and
-// writes the merged --metrics run report.  Replication scale still comes
-// from the environment (REPRO_FULL / REPRO_REPS / REPRO_FRAMES), which the
-// workers inherit.  `merge` does the same for pre-written cts.shard.v1
-// files (e.g. collected from separate machines).  `diff` compares the
-// metrics sections of two run reports the way a shard merge can match a
-// single-process run: counters exactly, sums to 1e-9 relative tolerance
-// (Kahan summation is order-sensitive across shard boundaries), gauges
-// exactly except the layout-dependent {sim.threads, sim.shard.index,
-// sim.shard.count}, and histograms by count only when the name contains
-// "wall_ms" (timings are never reproducible).
+// <dir>/shard_i.log), waits for all of them — with --timeout=SECS a
+// straggler is SIGKILLed and reported instead of wedging the orchestrator
+// forever — merges the shard files and writes the merged --metrics run
+// report.  With --workers= the same shards are dispatched as cts.job.v1
+// jobs to cts_shardd daemons over TCP: BENCH becomes a bench REGISTRY id
+// (the workers refuse arbitrary paths), each job carries the REPRO_* scale
+// from this process's environment plus a per-job deadline, failures and
+// timeouts are retried with exponential backoff and reassigned to another
+// worker, and when every worker is down the remaining shards fall back to
+// local fork/exec.  Replication scale still comes from the environment
+// (REPRO_FULL / REPRO_REPS / REPRO_FRAMES), which workers inherit via the
+// job env.  The merge path is identical in every mode — a loopback
+// multi-worker run is `cts_simd diff`-identical to a single-process run.
+//
+// `merge` does the same for pre-written cts.shard.v1 files (e.g. collected
+// from separate machines).  `diff` compares the metrics sections of two
+// run reports the way a shard merge can match a single-process run:
+// counters exactly, sums to 1e-9 relative tolerance (Kahan summation is
+// order-sensitive across shard boundaries), gauges exactly except the
+// layout-dependent {sim.threads, sim.shard.index, sim.shard.count}, and
+// histograms by count only when the name contains "wall_ms" (timings are
+// never reproducible).  A section missing from one report entirely is a
+// reported difference (exit 1), not a parse error.
 //
 // Exit codes: 0 success / reports match, 1 worker failure / merge error /
 // reports differ, 2 usage or parse errors.
@@ -31,25 +48,40 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "bench_suite.hpp"
+#include "cts/net/job.hpp"
+#include "cts/net/retry.hpp"
+#include "cts/net/socket.hpp"
 #include "cts/obs/json.hpp"
 #include "cts/obs/metrics.hpp"
 #include "cts/obs/run_report.hpp"
+#include "cts/obs/trace.hpp"
 #include "cts/sim/replication.hpp"
 #include "cts/sim/shard.hpp"
 #include "cts/util/cli_registry.hpp"
 #include "cts/util/error.hpp"
+#include "cts/util/file.hpp"
 #include "cts/util/flags.hpp"
+#include "cts/util/subprocess.hpp"
 #include "cts/util/table.hpp"
 
+namespace fs = std::filesystem;
+namespace net = cts::net;
 namespace obs = cts::obs;
 namespace sim = cts::sim;
 namespace cu = cts::util;
@@ -59,11 +91,18 @@ namespace {
 void usage() {
   std::printf(
       "usage: cts_simd run BENCH_BINARY [--shards=N] [--out-dir=DIR]\n"
-      "                    [--metrics=PATH] [--keep-shards] [--quiet]\n"
+      "                    [--metrics=PATH] [--keep-shards] "
+      "[--timeout=SECS]\n"
+      "                    [--quiet]\n"
+      "       cts_simd run BENCH_ID --workers=HOST:PORT,... [--shards=N]\n"
+      "                    [--job-timeout=SECS] [--retries=N] "
+      "[--bench-dir=DIR]\n"
+      "                    [--dispatch-metrics=PATH] [--trace=PATH] [...]\n"
       "       cts_simd merge SHARD.json... [--metrics=PATH] [--quiet]\n"
       "       cts_simd diff REPORT_A.json REPORT_B.json [--quiet]\n\n"
       "Scale comes from the environment the workers inherit: REPRO_FULL=1,\n"
-      "REPRO_REPS, REPRO_FRAMES.\n"
+      "REPRO_REPS, REPRO_FRAMES (forwarded inside the job in --workers "
+      "mode).\n"
       "Exit codes: 0 success/match, 1 failure/mismatch, 2 usage or parse "
       "error.\n");
 }
@@ -86,11 +125,10 @@ std::vector<std::string> positionals(int argc, char** argv) {
   return out;
 }
 
-std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
+double monotonic_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 // -------------------------------------------------------------------------
@@ -160,17 +198,45 @@ int merge_and_report(const std::vector<std::string>& shard_paths,
 }
 
 // -------------------------------------------------------------------------
-// run
+// local run
+
+/// Fork/execs one local shard worker of `binary`, stdout+stderr to
+/// `log_path`.  Returns -1 when fork fails.
+pid_t spawn_local_shard(const std::string& binary, const sim::ShardSpec& spec,
+                        const std::string& shard_path,
+                        const std::string& log_path) {
+  const std::string shard_flag = "--shard=" + sim::format_shard_spec(spec);
+  const std::string out_flag = "--shard-out=" + shard_path;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("cts_simd: fork");
+    return -1;
+  }
+  if (pid == 0) {
+    const int fd =
+        ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, STDOUT_FILENO);
+      ::dup2(fd, STDERR_FILENO);
+      ::close(fd);
+    }
+    ::execl(binary.c_str(), binary.c_str(), shard_flag.c_str(),
+            out_flag.c_str(), "--quiet", static_cast<char*>(nullptr));
+    std::perror("cts_simd: execl");
+    std::_Exit(127);
+  }
+  return pid;
+}
 
 int run_workers(const std::string& binary, std::size_t shard_count,
                 const std::string& out_dir, const std::string& metrics_path,
-                bool keep_shards, bool quiet) {
+                bool keep_shards, double timeout_s, bool quiet) {
   if (::access(binary.c_str(), X_OK) != 0) {
     std::fprintf(stderr, "cts_simd: %s is not an executable\n",
                  binary.c_str());
     return 2;
   }
-  ::mkdir(out_dir.c_str(), 0755);  // best-effort; open() reports failures
+  cu::make_dirs(out_dir);  // throws up front, naming the path
 
   std::vector<std::string> shard_paths;
   std::vector<std::string> log_paths;
@@ -179,28 +245,9 @@ int run_workers(const std::string& binary, std::size_t shard_count,
     const std::string tag = std::to_string(i);
     shard_paths.push_back(out_dir + "/shard_" + tag + ".json");
     log_paths.push_back(out_dir + "/shard_" + tag + ".log");
-    const std::string shard_flag =
-        "--shard=" + sim::format_shard_spec({i, shard_count});
-    const std::string out_flag = "--shard-out=" + shard_paths.back();
-
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      std::perror("cts_simd: fork");
-      return 1;
-    }
-    if (pid == 0) {
-      const int fd =
-          ::open(log_paths.back().c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-      if (fd >= 0) {
-        ::dup2(fd, STDOUT_FILENO);
-        ::dup2(fd, STDERR_FILENO);
-        ::close(fd);
-      }
-      ::execl(binary.c_str(), binary.c_str(), shard_flag.c_str(),
-              out_flag.c_str(), "--quiet", static_cast<char*>(nullptr));
-      std::perror("cts_simd: execl");
-      std::_Exit(127);
-    }
+    const pid_t pid = spawn_local_shard(binary, {i, shard_count},
+                                        shard_paths.back(), log_paths.back());
+    if (pid < 0) return 1;
     pids.push_back(pid);
     if (!quiet) {
       std::printf("[worker %zu/%zu: pid %d, log %s]\n", i, shard_count,
@@ -208,13 +255,17 @@ int run_workers(const std::string& binary, std::size_t shard_count,
     }
   }
 
+  // One shared deadline across all workers; a straggler past it is killed
+  // and reported (the old code blocked in waitpid forever).
+  const double deadline = monotonic_s() + timeout_s;
   bool failed = false;
   for (std::size_t i = 0; i < pids.size(); ++i) {
-    int status = 0;
-    if (::waitpid(pids[i], &status, 0) < 0 || !WIFEXITED(status) ||
-        WEXITSTATUS(status) != 0) {
-      std::fprintf(stderr, "cts_simd: worker %zu failed (see %s)\n", i,
-                   log_paths[i].c_str());
+    const double remaining =
+        timeout_s <= 0 ? -1.0 : std::max(0.0, deadline - monotonic_s());
+    const cu::WaitOutcome outcome = cu::wait_child(pids[i], remaining);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "cts_simd: worker %zu %s (see %s)\n", i,
+                   outcome.describe().c_str(), log_paths[i].c_str());
       failed = true;
     }
   }
@@ -222,6 +273,317 @@ int run_workers(const std::string& binary, std::size_t shard_count,
 
   const int rc = merge_and_report(shard_paths, metrics_path, quiet);
   if (rc == 0 && !keep_shards) {
+    for (const std::string& path : shard_paths) ::unlink(path.c_str());
+  }
+  return rc;
+}
+
+// -------------------------------------------------------------------------
+// networked run (--workers=)
+
+struct NetRunOptions {
+  std::string bench_id;
+  std::size_t shards = 2;
+  std::string out_dir;
+  std::string metrics_path;
+  std::string bench_dir;              ///< local-fallback binary directory
+  std::string dispatch_metrics_path;  ///< "" = off
+  std::string trace_path;             ///< "" = off
+  std::vector<net::Endpoint> workers;
+  double job_timeout_s = 300;
+  int retries = 3;
+  bool keep_shards = false;
+  bool quiet = false;
+};
+
+/// Consecutive failures after which a worker endpoint is declared down and
+/// its dispatch thread exits (remaining work is reassigned or falls back).
+constexpr int kWorkerDownAfter = 3;
+
+/// Shared dispatch state; every field is guarded by `mu`.
+struct DispatchState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::size_t> queue;        ///< shards awaiting a worker
+  std::vector<int> attempts;            ///< per-shard dispatch attempts
+  std::vector<int> last_failed_on;      ///< worker of the last failure, -1
+  std::vector<std::string> payloads;    ///< per-shard cts.shard.v1 text
+  std::vector<std::size_t> fallback;    ///< shards left for local fork/exec
+  std::size_t done = 0;
+  std::size_t live_workers = 0;
+
+  bool settled(std::size_t n) const { return done + fallback.size() == n; }
+
+  /// A requeued shard prefers a worker other than the one it just failed
+  /// on (that is what makes failure reassignment an actual reassignment);
+  /// the last live worker takes anything.  Returns the queue position of a
+  /// shard worker `w` may take, or queue.size() when there is none.
+  std::size_t claimable(std::size_t w) const {
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      if (live_workers <= 1 ||
+          last_failed_on[queue[i]] != static_cast<int>(w)) {
+        return i;
+      }
+    }
+    return queue.size();
+  }
+};
+
+/// Runs one job against one worker; returns the shard payload via *out.
+/// Throws (NetError and friends) or returns a structured failure message.
+bool dispatch_one(const net::Endpoint& ep, const net::JobRequest& job,
+                  double job_timeout_s, std::string* out,
+                  std::string* error) {
+  try {
+    obs::ScopedSpan span("simd.net.job");
+    net::Socket sock =
+        net::connect_to(ep, std::min(10.0, job_timeout_s));
+    net::send_frame(sock, net::write_job_json(job), 30.0);
+    const std::string reply = net::recv_frame(sock, job_timeout_s);
+    const net::JobResult result = net::parse_job_result(reply);
+    if (!result.ok) {
+      *error = ep.str() + ": " + result.error;
+      return false;
+    }
+    *out = result.shard_json;
+    return true;
+  } catch (const std::exception& e) {
+    *error = ep.str() + ": " + e.what();
+    return false;
+  }
+}
+
+/// One dispatch thread: pulls shards off the queue, runs them on `ep`,
+/// requeues failures (bounded per-shard attempts), and declares the worker
+/// down after kWorkerDownAfter consecutive failures.
+void worker_thread(const net::Endpoint& ep, std::size_t worker_index,
+                   const NetRunOptions& opt, const net::RetryPolicy& policy,
+                   std::vector<std::pair<std::string, std::string>> env,
+                   DispatchState* st, obs::MetricsRegistry* dispatch) {
+  const std::string wtag = "simd.net.worker." + std::to_string(worker_index);
+  int consecutive_failures = 0;
+  for (;;) {
+    std::size_t shard = 0;
+    int attempt = 0;
+    {
+      std::unique_lock<std::mutex> lk(st->mu);
+      std::size_t pos = 0;
+      st->cv.wait(lk, [&] {
+        pos = st->claimable(worker_index);
+        return pos < st->queue.size() || st->settled(opt.shards);
+      });
+      if (pos >= st->queue.size()) return;  // everything done or given up
+      shard = st->queue[pos];
+      st->queue.erase(st->queue.begin() +
+                      static_cast<std::ptrdiff_t>(pos));
+      attempt = ++st->attempts[shard];
+    }
+
+    const double backoff = policy.delay_s(attempt);
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      dispatch->add("simd.net.retries");
+    }
+
+    net::JobRequest job;
+    job.bench_id = opt.bench_id;
+    job.shard_index = shard;
+    job.shard_count = opt.shards;
+    job.env = std::move(env);
+    job.timeout_s = opt.job_timeout_s;
+    const double start = monotonic_s();
+    std::string payload;
+    std::string error;
+    const bool ok =
+        dispatch_one(ep, job, opt.job_timeout_s, &payload, &error);
+    env = std::move(job.env);  // reused across this thread's jobs
+    const double wall_ms = (monotonic_s() - start) * 1e3;
+    dispatch->observe("simd.net.job_wall_ms", wall_ms);
+    dispatch->observe(wtag + ".wall_ms", wall_ms);
+    dispatch->add("simd.net.jobs_dispatched");
+
+    std::unique_lock<std::mutex> lk(st->mu);
+    if (ok) {
+      st->payloads[shard] = std::move(payload);
+      ++st->done;
+      consecutive_failures = 0;
+      dispatch->add("simd.net.jobs_ok");
+      dispatch->add(wtag + ".ok");
+      if (!opt.quiet) {
+        std::printf("[shard %zu/%zu done on %s in %.0f ms]\n", shard,
+                    opt.shards, ep.str().c_str(), wall_ms);
+      }
+    } else {
+      dispatch->add("simd.net.jobs_failed");
+      dispatch->add(wtag + ".fail");
+      ++consecutive_failures;
+      std::fprintf(stderr,
+                   "cts_simd: shard %zu attempt %d failed on %s: %s\n",
+                   shard, attempt, ep.str().c_str(), error.c_str());
+      st->last_failed_on[shard] = static_cast<int>(worker_index);
+      if (st->attempts[shard] >= policy.max_attempts) {
+        st->fallback.push_back(shard);  // retry budget exhausted
+      } else {
+        st->queue.push_back(shard);  // reassigned by claimable()
+      }
+    }
+    const bool worker_down = consecutive_failures >= kWorkerDownAfter;
+    if (worker_down) --st->live_workers;
+    lk.unlock();
+    st->cv.notify_all();
+    if (worker_down) {
+      dispatch->add("simd.net.workers_down");
+      std::fprintf(stderr,
+                   "cts_simd: worker %s down after %d consecutive "
+                   "failures\n",
+                   ep.str().c_str(), consecutive_failures);
+      return;
+    }
+  }
+}
+
+int run_networked(const NetRunOptions& opt) {
+  // The registry doubles as the allowlist on this side too: an unknown id
+  // fails here (exit 2) before any network traffic.
+  const bench::BenchSpec& spec = bench::spec(opt.bench_id);
+  cu::make_dirs(opt.out_dir);
+  if (!opt.trace_path.empty()) obs::TraceRecorder::global().enable();
+
+  // Forward this process's REPRO_* scale inside the job so every worker —
+  // and a local fallback child, which inherits the environment directly —
+  // runs at the same scale.
+  std::vector<std::pair<std::string, std::string>> env;
+  for (const std::string& name : net::job_env_allowlist()) {
+    const char* value = std::getenv(name.c_str());
+    if (value != nullptr && value[0] != '\0') env.emplace_back(name, value);
+  }
+
+  net::RetryPolicy policy;
+  policy.max_attempts = opt.retries;
+
+  // Dispatch metrics live in their own registry, NOT the global one: the
+  // global registry receives the merged shard metrics, and polluting it
+  // with dispatch counters would break `cts_simd diff` bit-identity
+  // against a single-process run.
+  obs::MetricsRegistry dispatch;
+  dispatch.gauge("simd.net.workers", static_cast<double>(opt.workers.size()));
+  dispatch.gauge("simd.net.shards", static_cast<double>(opt.shards));
+
+  DispatchState st;
+  st.attempts.assign(opt.shards, 0);
+  st.last_failed_on.assign(opt.shards, -1);
+  st.payloads.assign(opt.shards, std::string());
+  st.live_workers = opt.workers.size();
+  for (std::size_t i = 0; i < opt.shards; ++i) st.queue.push_back(i);
+
+  {
+    obs::ScopedSpan span("simd.net.dispatch");
+    std::vector<std::thread> threads;
+    threads.reserve(opt.workers.size());
+    for (std::size_t w = 0; w < opt.workers.size(); ++w) {
+      threads.emplace_back(worker_thread, opt.workers[w], w, std::cref(opt),
+                           std::cref(policy), env, &st, &dispatch);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Whatever the workers could not finish — retry budgets exhausted, or
+  // every endpoint down with shards still queued — runs locally.
+  std::vector<std::size_t> local;
+  {
+    std::lock_guard<std::mutex> lk(st.mu);
+    local = st.fallback;
+    for (const std::size_t shard : st.queue) local.push_back(shard);
+  }
+  std::vector<std::string> shard_paths(opt.shards);
+  for (std::size_t i = 0; i < opt.shards; ++i) {
+    shard_paths[i] = opt.out_dir + "/shard_" + std::to_string(i) + ".json";
+  }
+  for (std::size_t i = 0; i < opt.shards; ++i) {
+    if (st.payloads[i].empty()) continue;
+    std::ofstream out(shard_paths[i], std::ios::binary);
+    out << st.payloads[i];
+    if (!out) {
+      std::fprintf(stderr, "cts_simd: could not write %s\n",
+                   shard_paths[i].c_str());
+      return 1;
+    }
+  }
+
+  if (!local.empty()) {
+    const std::string binary =
+        (fs::path(opt.bench_dir) / spec.binary).string();
+    if (::access(binary.c_str(), X_OK) != 0) {
+      std::fprintf(stderr,
+                   "cts_simd: %zu shard(s) undispatched and the local "
+                   "fallback binary %s is not executable\n",
+                   local.size(), binary.c_str());
+      return 1;
+    }
+    dispatch.add("simd.net.local_fallback_shards",
+                 static_cast<std::uint64_t>(local.size()));
+    if (!opt.quiet) {
+      std::printf("[falling back to local fork/exec for %zu shard(s)]\n",
+                  local.size());
+    }
+    obs::ScopedSpan span("simd.net.local_fallback");
+    std::vector<pid_t> pids;
+    std::vector<std::string> logs;
+    for (const std::size_t shard : local) {
+      logs.push_back(opt.out_dir + "/shard_" + std::to_string(shard) +
+                     ".log");
+      const pid_t pid = spawn_local_shard(binary, {shard, opt.shards},
+                                          shard_paths[shard], logs.back());
+      if (pid < 0) return 1;
+      pids.push_back(pid);
+    }
+    const double deadline = monotonic_s() + opt.job_timeout_s;
+    for (std::size_t i = 0; i < pids.size(); ++i) {
+      const double remaining = std::max(0.0, deadline - monotonic_s());
+      const cu::WaitOutcome outcome = cu::wait_child(pids[i], remaining);
+      if (!outcome.ok()) {
+        std::fprintf(stderr, "cts_simd: local fallback shard %zu %s (see "
+                             "%s)\n",
+                     local[i], outcome.describe().c_str(), logs[i].c_str());
+        return 1;
+      }
+    }
+  }
+
+  const int rc = merge_and_report(shard_paths, opt.metrics_path, opt.quiet);
+
+  if (!opt.dispatch_metrics_path.empty()) {
+    obs::RunReport report;
+    report.set("run_id", "cts_simd_dispatch");
+    report.set("tool", "cts_simd");
+    report.set("mode", "workers");
+    report.set("bench", opt.bench_id);
+    std::string worker_list;
+    for (const net::Endpoint& ep : opt.workers) {
+      if (!worker_list.empty()) worker_list += ",";
+      worker_list += ep.str();
+    }
+    report.set("workers", worker_list);
+    report.set("shards", static_cast<std::uint64_t>(opt.shards));
+    report.set("retries", static_cast<std::int64_t>(opt.retries));
+    report.set("job_timeout_s", opt.job_timeout_s);
+    if (!report.write(opt.dispatch_metrics_path, dispatch)) {
+      std::fprintf(stderr, "cts_simd: could not write dispatch metrics to "
+                           "%s\n",
+                   opt.dispatch_metrics_path.c_str());
+    } else if (!opt.quiet) {
+      std::printf("[dispatch metrics written to %s]\n",
+                  opt.dispatch_metrics_path.c_str());
+    }
+  }
+  if (!opt.trace_path.empty()) {
+    if (!obs::TraceRecorder::global().write(opt.trace_path)) {
+      std::fprintf(stderr, "cts_simd: could not write trace to %s\n",
+                   opt.trace_path.c_str());
+    }
+  }
+
+  if (rc == 0 && !opt.keep_shards) {
     for (const std::string& path : shard_paths) ::unlink(path.c_str());
   }
   return rc;
@@ -264,10 +626,20 @@ std::size_t diff_metrics(const obs::JsonValue& a, const obs::JsonValue& b,
     }
     return keys;
   };
+  // A report with no such section at all diffs as an empty section: every
+  // entry present on the other side is reported as a difference (exit 1),
+  // instead of at() throwing and turning a comparison into exit 2.
+  static const obs::JsonValue kEmptySection = [] {
+    obs::JsonValue v;
+    v.type = obs::JsonValue::Type::kObject;
+    return v;
+  }();
   const auto for_union = [&](const char* section,
                              const auto& visit) {
-    const obs::JsonValue& sa = a.at(section);
-    const obs::JsonValue& sb = b.at(section);
+    const obs::JsonValue* pa = a.find(section);
+    const obs::JsonValue* pb = b.find(section);
+    const obs::JsonValue& sa = pa != nullptr ? *pa : kEmptySection;
+    const obs::JsonValue& sb = pb != nullptr ? *pb : kEmptySection;
     std::vector<std::string> keys = keys_of(sa);
     for (const std::string& k : keys_of(sb)) {
       bool seen = false;
@@ -332,8 +704,8 @@ std::size_t diff_metrics(const obs::JsonValue& a, const obs::JsonValue& b,
 
 int diff_reports(const std::string& path_a, const std::string& path_b,
                  bool quiet) {
-  const obs::JsonValue a = obs::json_parse(read_file(path_a));
-  const obs::JsonValue b = obs::json_parse(read_file(path_b));
+  const obs::JsonValue a = obs::json_parse(cu::read_text_file(path_a));
+  const obs::JsonValue b = obs::json_parse(cu::read_text_file(path_b));
   const std::size_t differences =
       diff_metrics(metrics_of(a), metrics_of(b), quiet);
   if (differences == 0) {
@@ -373,10 +745,47 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "cts_simd: --shards must be >= 1\n");
         return 2;
       }
+      if (flags.has("workers")) {
+        NetRunOptions opt;
+        opt.bench_id = args[1];
+        opt.shards = static_cast<std::size_t>(shards);
+        opt.out_dir = flags.get_string("out-dir", "simd_out");
+        opt.metrics_path = flags.get_string("metrics", "simd_metrics.json");
+        opt.keep_shards = flags.get_bool("keep-shards", false);
+        opt.quiet = quiet;
+        opt.workers =
+            net::parse_worker_list(flags.get_string("workers", ""));
+        opt.job_timeout_s = flags.get_double("job-timeout", 300.0);
+        if (opt.job_timeout_s <= 0) {
+          std::fprintf(stderr, "cts_simd: --job-timeout must be > 0\n");
+          return 2;
+        }
+        const std::int64_t retries = flags.get_int("retries", 3);
+        if (retries < 1) {
+          std::fprintf(stderr, "cts_simd: --retries must be >= 1\n");
+          return 2;
+        }
+        opt.retries = static_cast<int>(retries);
+        opt.dispatch_metrics_path =
+            flags.get_string("dispatch-metrics", "");
+        opt.trace_path = flags.get_string("trace", "");
+        opt.bench_dir = flags.get_string("bench-dir", "");
+        if (opt.bench_dir.empty()) {
+          const char* env = std::getenv("CTS_BENCH_DIR");
+          if (env != nullptr && env[0] != '\0') {
+            opt.bench_dir = env;
+          } else {
+            opt.bench_dir =
+                (fs::path(argv[0]).parent_path() / ".." / "bench").string();
+          }
+        }
+        return run_networked(opt);
+      }
       return run_workers(args[1], static_cast<std::size_t>(shards),
                          flags.get_string("out-dir", "simd_out"),
                          flags.get_string("metrics", "simd_metrics.json"),
-                         flags.get_bool("keep-shards", false), quiet);
+                         flags.get_bool("keep-shards", false),
+                         flags.get_double("timeout", 0.0), quiet);
     }
     if (command == "merge") {
       if (args.size() < 2) {
