@@ -12,8 +12,19 @@
 // Reply (cts_shardd -> client):
 //
 //   {"schema":"cts.jobresult.v1","ok":true,"elapsed_s":1.2,
-//    "shard":"<the worker's verbatim cts.shard.v1 file text>"}
+//    "shard":"<the worker's verbatim cts.shard.v1 file text>",
+//    "obs":{"recv_us":...,"send_us":...,"metrics":{...},"spans":[...]}}
 //   {"schema":"cts.jobresult.v1","ok":false,"error":"..."}
+//
+// `attempt` (request) is the dispatcher's 1-based attempt counter for the
+// shard, so a worker can count retried jobs; absent means 0 (unknown), so
+// old clients interoperate.  `obs` (reply, optional) is the worker-side
+// observability capture for this one job: the job's metrics shard (NOT the
+// worker's cumulative registry — the dispatcher merges per-job shards
+// without double counting), its trace spans on the worker's own clock, and
+// the request-received / reply-sent timestamps (recv_us/send_us, same
+// clock as the spans) the dispatcher needs for NTP-style clock-offset
+// correction (see obs/trace_merge.hpp).
 //
 // The shard payload travels as a JSON *string* (escaped), not a spliced
 // object, so the client writes back byte-for-byte what the worker's bench
@@ -27,9 +38,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "cts/obs/metrics.hpp"
+#include "cts/obs/trace.hpp"
 
 namespace cts::net {
 
@@ -47,6 +62,7 @@ struct JobRequest {
   std::size_t shard_count = 1;
   std::vector<std::pair<std::string, std::string>> env;  ///< allowlisted
   double timeout_s = 0;        ///< 0: worker default
+  int attempt = 0;             ///< dispatcher attempt number, 0 = unknown
 };
 
 std::string write_job_json(const JobRequest& job);
@@ -55,12 +71,23 @@ std::string write_job_json(const JobRequest& job);
 /// wrong schema tag, malformed shard spec, or non-allowlisted env key.
 JobRequest parse_job(const std::string& text);
 
+/// Worker-side observability capture for one job (the optional "obs"
+/// section of cts.jobresult.v1).
+struct JobObs {
+  std::int64_t recv_us = 0;  ///< worker clock: request received
+  std::int64_t send_us = 0;  ///< worker clock: reply about to be sent
+  obs::MetricsShard metrics;           ///< this job's metrics shard
+  std::vector<obs::TraceEvent> spans;  ///< this job's spans, worker clock
+};
+
 /// One shard-execution reply.
 struct JobResult {
   bool ok = false;
   std::string error;       ///< when !ok
   std::string shard_json;  ///< verbatim cts.shard.v1 text when ok
   double elapsed_s = 0;
+  bool has_obs = false;    ///< reply carried an obs section
+  JobObs obs;
 };
 
 std::string write_job_result_json(const JobResult& result);

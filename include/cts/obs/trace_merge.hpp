@@ -1,0 +1,73 @@
+// Cross-process Chrome-trace merging with clock-offset correction.
+//
+// TraceRecorder timestamps are microseconds since the *recorder's own*
+// construction-time steady_clock epoch (src/obs/trace.cpp), so span times
+// from two processes are incomparable as-is.  The dispatcher fixes that
+// the way NTP does: for every job it knows four timestamps —
+//
+//   t0  dispatcher clock, just before the request frame is sent
+//   t1  worker clock, request received       (cts.jobresult.v1 obs.recv_us)
+//   t2  worker clock, reply about to be sent (cts.jobresult.v1 obs.send_us)
+//   t3  dispatcher clock, reply received
+//
+// and estimates the worker-minus-dispatcher clock offset as
+//
+//   offset = ((t1 - t0) + (t2 - t3)) / 2
+//
+// which cancels the network delay when the two directions are symmetric;
+// the residual error is bounded by half the round-trip time — far below a
+// shard's multi-second runtime on any link worth dispatching over.
+// Subtracting the offset from every worker span maps it onto the
+// dispatcher's timeline, so worker job spans nest inside the dispatcher's
+// dispatch spans in one merged trace with a named process lane per worker.
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cts/obs/trace.hpp"
+
+namespace cts::obs {
+
+class JsonWriter;
+struct JsonValue;
+
+/// One process's span timeline inside a merged Chrome trace.
+struct ProcessTrace {
+  std::string name;            ///< lane label, e.g. "worker 127.0.0.1:9001"
+  int pid = 1;                 ///< Chrome trace pid: one lane per process
+  std::int64_t offset_us = 0;  ///< subtracted from every ts (clock offset)
+  std::vector<TraceEvent> events;
+};
+
+/// NTP-style estimate of the remote clock's offset relative to the local
+/// clock, from a request/reply exchange (see file comment for t0..t3).
+/// Subtract the result from remote timestamps to map them onto the local
+/// timeline; the estimation error is bounded by half the round-trip time.
+std::int64_t estimate_clock_offset_us(std::int64_t t0_send_us,
+                                      std::int64_t t1_recv_us,
+                                      std::int64_t t2_reply_us,
+                                      std::int64_t t3_done_us);
+
+/// Writes one Chrome-trace document with one named process lane per entry:
+/// a "process_name" metadata event plus the lane's spans as "X" events,
+/// each timestamp shifted by the lane's offset_us.
+void write_merged_trace_json(std::ostream& os,
+                             const std::vector<ProcessTrace>& lanes);
+
+/// Writes the merged trace to `path`; returns false on I/O failure.
+bool write_merged_trace(const std::string& path,
+                        const std::vector<ProcessTrace>& lanes);
+
+/// Emits `events` as a JSON array of {"name","tid","ts_us","dur_us"} —
+/// the wire form of TraceEvent used by the cts.jobresult.v1 obs section.
+void write_trace_events(JsonWriter& w, const std::vector<TraceEvent>& events);
+
+/// Parses an array written by write_trace_events.  Throws
+/// util::InvalidArgument on schema violations.
+std::vector<TraceEvent> trace_events_from_json(const JsonValue& v);
+
+}  // namespace cts::obs

@@ -67,6 +67,10 @@ inline constexpr FlagDoc kBenchdFlags[] = {
     {"json-lines", "PATH",
      "stream one RFC 8259 JSON object per run (cts.benchrun.v1) for soak "
      "monitoring"},
+    {"log", "PATH",
+     "append cts.events.v1 JSONL events (suite/bench lifecycle) to PATH"},
+    {"log-level", "LEVEL",
+     "event-log sink threshold: debug|info|warn|error (default info)"},
     {"keep-runs", "", "keep the per-run perf reports in the temp run dir"},
     {"list", "", "print the bench registry and exit"},
     {"quiet", "", "suppress progress on stderr"},
@@ -133,7 +137,13 @@ inline constexpr FlagDoc kSimdFlags[] = {
     {"dispatch-metrics", "PATH",
      "write the dispatcher's own cts::obs run report (jobs, retries, "
      "per-worker latency) — kept out of the merged report by design"},
-    {"trace", "PATH", "write a Chrome-trace timeline of dispatch spans"},
+    {"trace", "PATH",
+     "write a merged Chrome-trace timeline: dispatcher spans plus one "
+     "clock-corrected lane per worker (from the jobs' obs captures)"},
+    {"log", "PATH",
+     "append cts.events.v1 JSONL events (dispatch lifecycle) to PATH"},
+    {"log-level", "LEVEL",
+     "event-log sink threshold: debug|info|warn|error (default info)"},
     {"quiet", "", "suppress progress"},
     {"help", "", "print usage and exit"},
 };
@@ -151,7 +161,29 @@ inline constexpr FlagDoc kShardDFlags[] = {
     {"fault-exit-after", "N",
      "fault-injection hook: die abruptly (no reply) on the job after N "
      "served — simulates a worker killed mid-shard (default off)"},
-    {"quiet", "", "suppress per-job progress on stderr"},
+    {"log", "PATH",
+     "append cts.events.v1 JSONL events to PATH instead of stderr"},
+    {"log-level", "LEVEL",
+     "event-log sink threshold: debug|info|warn|error (default info)"},
+    {"quiet", "", "silence the default stderr event sink"},
+    {"help", "", "print usage and exit"},
+};
+
+/// tools/cts_obstop.
+inline constexpr FlagDoc kObstopFlags[] = {
+    {"workers", "HOST:PORT,...",
+     "cts_shardd stats endpoints to poll (required unless --validate)"},
+    {"json", "",
+     "one-shot: print each worker's raw cts.stats.v1 reply (single worker: "
+     "the object verbatim; several: a JSON array) and exit"},
+    {"interval", "SECS", "poll period for the live table (default 2)"},
+    {"iterations", "N",
+     "stop the live table after N polls (default 0 = until interrupted)"},
+    {"timeout", "SECS", "per-worker connect/reply deadline (default 5)"},
+    {"validate", "",
+     "only validate the given files: .jsonl as cts.events.v1 lines, .json "
+     "as one strict RFC 8259 document (trace or stats)"},
+    {"quiet", "", "suppress per-worker error lines on stderr"},
     {"help", "", "print usage and exit"},
 };
 
@@ -183,6 +215,8 @@ inline constexpr ToolDoc kTools[] = {
     {"cts_simd", kSimdFlags, sizeof(kSimdFlags) / sizeof(kSimdFlags[0])},
     {"cts_shardd", kShardDFlags,
      sizeof(kShardDFlags) / sizeof(kShardDFlags[0])},
+    {"cts_obstop", kObstopFlags,
+     sizeof(kObstopFlags) / sizeof(kObstopFlags[0])},
 };
 
 /// The names of `flags`, for Flags::warn_unknown known-lists.

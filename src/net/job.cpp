@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "cts/obs/json.hpp"
+#include "cts/obs/trace_merge.hpp"
 #include "cts/util/error.hpp"
 
 namespace cts::net {
@@ -32,6 +33,7 @@ std::string write_job_json(const JobRequest& job) {
   }
   w.end_object();
   w.key("timeout_s").value(job.timeout_s);
+  w.key("attempt").value(static_cast<std::int64_t>(job.attempt));
   w.end_object();
   return os.str();
 }
@@ -64,6 +66,12 @@ JobRequest parse_job(const std::string& text) {
   }
   job.timeout_s = doc.at("timeout_s").as_number();
   cu::require(job.timeout_s >= 0, "job: negative timeout_s");
+  // Optional: absent on pre-obs clients, which parse as attempt 0.
+  const obs::JsonValue* attempt = doc.find("attempt");
+  if (attempt != nullptr) {
+    job.attempt = static_cast<int>(attempt->as_number());
+    cu::require(job.attempt >= 0, "job: negative attempt");
+  }
   return job;
 }
 
@@ -78,6 +86,16 @@ std::string write_job_result_json(const JobResult& result) {
     w.key("shard").value(result.shard_json);
   } else {
     w.key("error").value(result.error);
+  }
+  if (result.has_obs) {
+    w.key("obs").begin_object();
+    w.key("recv_us").value(result.obs.recv_us);
+    w.key("send_us").value(result.obs.send_us);
+    w.key("metrics");
+    obs::write_metrics_snapshot(w, result.obs.metrics);
+    w.key("spans");
+    obs::write_trace_events(w, result.obs.spans);
+    w.end_object();
   }
   w.end_object();
   return os.str();
@@ -100,6 +118,20 @@ JobResult parse_job_result(const std::string& text) {
     result.error = doc.at("error").as_string();
     cu::require(!result.error.empty(),
                 "job result: failed but no error message");
+  }
+  // Optional: a pre-obs worker's reply simply has no obs section.
+  const obs::JsonValue* job_obs = doc.find("obs");
+  if (job_obs != nullptr) {
+    cu::require(job_obs->is_object(), "job result: obs must be an object");
+    result.has_obs = true;
+    result.obs.recv_us =
+        static_cast<std::int64_t>(job_obs->at("recv_us").as_number());
+    result.obs.send_us =
+        static_cast<std::int64_t>(job_obs->at("send_us").as_number());
+    cu::require(result.obs.send_us >= result.obs.recv_us,
+                "job result: obs send_us before recv_us");
+    result.obs.metrics = obs::metrics_snapshot_from_json(job_obs->at("metrics"));
+    result.obs.spans = obs::trace_events_from_json(job_obs->at("spans"));
   }
   return result;
 }

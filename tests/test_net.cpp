@@ -166,6 +166,72 @@ TEST(JobSchema, OkResultWithoutShardIsInvalid) {
                cu::InvalidArgument);
 }
 
+TEST(JobSchema, AttemptRoundTripsAndDefaultsToZero) {
+  net::JobRequest job;
+  job.bench_id = "fig9_sim_markov";
+  job.shard_count = 2;
+  job.attempt = 3;
+  EXPECT_EQ(net::parse_job(net::write_job_json(job)).attempt, 3);
+
+  // A request from an older client has no attempt member at all.
+  const net::JobRequest parsed = net::parse_job(
+      R"({"schema":"cts.job.v1","bench":"x",)"
+      R"("shard":{"index":0,"count":1},"env":{},"timeout_s":1})");
+  EXPECT_EQ(parsed.attempt, 0);
+  EXPECT_THROW(net::parse_job(
+                   R"({"schema":"cts.job.v1","bench":"x",)"
+                   R"("shard":{"index":0,"count":1},"env":{},)"
+                   R"("timeout_s":1,"attempt":-1})"),
+               cu::InvalidArgument);
+}
+
+TEST(JobSchema, ResultObsSectionRoundTrips) {
+  net::JobResult result;
+  result.ok = true;
+  result.shard_json = "{\"schema\":\"cts.shard.v1\"}\n";
+  result.elapsed_s = 0.8;
+  result.has_obs = true;
+  result.obs.recv_us = 1'000'000;
+  result.obs.send_us = 1'800'000;
+  result.obs.metrics.add("shardd.jobs_ok");
+  result.obs.metrics.observe("shardd.job_wall_ms", 812.5);
+  result.obs.spans = {{"shardd.job", 0, 1'000'100, 799'000},
+                      {"shardd.exec", 0, 1'000'200, 780'000}};
+
+  const net::JobResult parsed =
+      net::parse_job_result(net::write_job_result_json(result));
+  ASSERT_TRUE(parsed.has_obs);
+  EXPECT_EQ(parsed.obs.recv_us, 1'000'000);
+  EXPECT_EQ(parsed.obs.send_us, 1'800'000);
+  EXPECT_EQ(parsed.obs.metrics.counters().at("shardd.jobs_ok"), 1u);
+  EXPECT_EQ(parsed.obs.metrics.histograms()
+                .at("shardd.job_wall_ms")
+                .stats()
+                .count(),
+            1u);
+  ASSERT_EQ(parsed.obs.spans.size(), 2u);
+  EXPECT_EQ(parsed.obs.spans[0].name, "shardd.job");
+  EXPECT_EQ(parsed.obs.spans[1].dur_us, 780'000);
+}
+
+TEST(JobSchema, ResultWithoutObsParsesAsHasObsFalse) {
+  net::JobResult result;
+  result.ok = false;
+  result.error = "no obs here";
+  const net::JobResult parsed =
+      net::parse_job_result(net::write_job_result_json(result));
+  EXPECT_FALSE(parsed.has_obs);
+
+  // A reply-sent timestamp before the request-received timestamp is
+  // corrupt, not merely odd.
+  EXPECT_THROW(net::parse_job_result(
+                   R"({"schema":"cts.jobresult.v1","ok":false,"error":"e",)"
+                   R"("elapsed_s":0,"obs":{"recv_us":100,"send_us":50,)"
+                   R"("metrics":{"counters":{},"sums":{},"gauges":{},)"
+                   R"("histograms":{}},"spans":[]}})"),
+               cu::InvalidArgument);
+}
+
 // ------------------------------------------------------------ worker list
 
 TEST(WorkerList, ParsesHostsAndPorts) {

@@ -1,0 +1,174 @@
+// EventLog: the sink must honour the level threshold while the ring buffer
+// records everything (it is the flight recorder), lines must be strict
+// cts.events.v1 JSON, and a dumped ring must replay below-threshold events.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cts/obs/event_log.hpp"
+#include "cts/obs/json.hpp"
+#include "cts/util/error.hpp"
+
+namespace obs = cts::obs;
+
+namespace {
+
+/// Splits JSONL text into its non-empty lines.
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(LogLevel, NamesRoundTrip) {
+  EXPECT_STREQ(obs::level_name(obs::LogLevel::kDebug), "debug");
+  EXPECT_STREQ(obs::level_name(obs::LogLevel::kError), "error");
+  EXPECT_EQ(obs::parse_log_level("warn"), obs::LogLevel::kWarn);
+  EXPECT_EQ(obs::parse_log_level("info"), obs::LogLevel::kInfo);
+  EXPECT_THROW(obs::parse_log_level("verbose"), cts::util::InvalidArgument);
+  EXPECT_THROW(obs::parse_log_level(""), cts::util::InvalidArgument);
+}
+
+TEST(EventLog, SinkFiltersByLevelButRingKeepsEverything) {
+  obs::EventLog log;
+  std::ostringstream sink;
+  log.to_stream(&sink);
+  log.set_min_level(obs::LogLevel::kInfo);
+
+  log.log(obs::LogLevel::kDebug, "job.detail", {{"step", 1}});
+  log.log(obs::LogLevel::kInfo, "job.done", {{"wall_ms", 12.5}});
+  log.log(obs::LogLevel::kError, "job.fail", {{"error", "boom"}});
+
+  // Sink: debug suppressed, info and error written.
+  const std::vector<std::string> emitted = lines_of(sink.str());
+  ASSERT_EQ(emitted.size(), 2u);
+  EXPECT_NE(emitted[0].find("\"job.done\""), std::string::npos);
+  EXPECT_NE(emitted[1].find("\"job.fail\""), std::string::npos);
+  EXPECT_EQ(log.emitted(), 2u);
+
+  // Ring: all three, oldest first, debug included.
+  const std::vector<obs::LogEvent> ring = log.ring();
+  ASSERT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring[0].event, "job.detail");
+  EXPECT_EQ(ring[0].level, obs::LogLevel::kDebug);
+  EXPECT_EQ(ring[2].event, "job.fail");
+  EXPECT_EQ(log.recorded(), 3u);
+}
+
+TEST(EventLog, FormatLineIsStrictJsonWithTypedFields) {
+  obs::LogEvent e;
+  e.level = obs::LogLevel::kWarn;
+  e.event = "worker.down";
+  e.ts_ms = 1754524800123;
+  e.fields = {{"worker", std::string("127.0.0.1:9001")},
+              {"consecutive_failures", 3},
+              {"jobs_ok", std::uint64_t{17}},
+              {"wall_ms", 812.4},
+              {"fatal", false}};
+  const std::string line = obs::EventLog::format_line(e);
+
+  std::string error;
+  ASSERT_TRUE(obs::json_parse_check(line, &error)) << error << "\n" << line;
+  const obs::JsonValue doc = obs::json_parse(line);
+  EXPECT_EQ(doc.at("schema").as_string(), obs::kEventsSchema);
+  EXPECT_EQ(doc.at("level").as_string(), "warn");
+  EXPECT_EQ(doc.at("event").as_string(), "worker.down");
+  EXPECT_DOUBLE_EQ(doc.at("ts_ms").as_number(), 1754524800123.0);
+  EXPECT_GT(doc.at("pid").as_number(), 0.0);
+  const obs::JsonValue& fields = doc.at("fields");
+  EXPECT_EQ(fields.at("worker").as_string(), "127.0.0.1:9001");
+  EXPECT_DOUBLE_EQ(fields.at("consecutive_failures").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(fields.at("jobs_ok").as_number(), 17.0);
+  EXPECT_DOUBLE_EQ(fields.at("wall_ms").as_number(), 812.4);
+  EXPECT_FALSE(fields.at("fatal").as_bool());
+}
+
+TEST(EventLog, RingEvictsOldestAtCapacity) {
+  obs::EventLog log;
+  log.set_ring_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    log.log(obs::LogLevel::kDebug, "tick", {{"i", i}});
+  }
+  const std::vector<obs::LogEvent> ring = log.ring();
+  ASSERT_EQ(ring.size(), 4u);
+  // The survivors are the last four events, oldest first.
+  EXPECT_EQ(ring.front().fields.at(0).i, 6);
+  EXPECT_EQ(ring.back().fields.at(0).i, 9);
+  EXPECT_EQ(log.recorded(), 10u);
+
+  log.set_ring_capacity(0);  // disables the ring entirely
+  log.log(obs::LogLevel::kInfo, "tick", {});
+  EXPECT_TRUE(log.ring().empty());
+}
+
+TEST(EventLog, DumpRingReplaysBelowThresholdEvents) {
+  obs::EventLog log;
+  log.set_min_level(obs::LogLevel::kError);  // sink would drop everything
+  log.log(obs::LogLevel::kDebug, "exec.step", {{"step", 1}});
+  log.log(obs::LogLevel::kInfo, "exec.step", {{"step", 2}});
+
+  std::ostringstream os;
+  log.dump_ring(os);
+  const std::vector<std::string> dumped = lines_of(os.str());
+  ASSERT_EQ(dumped.size(), 2u);
+  for (const std::string& line : dumped) {
+    std::string error;
+    EXPECT_TRUE(obs::json_parse_check(line, &error)) << error;
+    EXPECT_EQ(obs::json_parse(line).at("schema").as_string(),
+              obs::kEventsSchema);
+  }
+  // The flight dump carries the debug event the sink never saw.
+  EXPECT_NE(dumped[0].find("\"debug\""), std::string::npos);
+}
+
+TEST(EventLog, DumpRingToWritesFileAndReportsFailure) {
+  obs::EventLog log;
+  log.log(obs::LogLevel::kInfo, "before.crash", {});
+  const std::string path = "event_log_flight_test.jsonl";
+  ASSERT_TRUE(log.dump_ring_to(path));
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"before.crash\""), std::string::npos);
+  in.close();
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(log.dump_ring_to("/nonexistent_dir_cts_test/flight.jsonl"));
+}
+
+TEST(EventLog, FileSinkAppendsAndOpenFailureThrows) {
+  const std::string path = "event_log_sink_test.jsonl";
+  std::remove(path.c_str());
+  {
+    obs::EventLog log;
+    log.open(path);
+    log.log(obs::LogLevel::kInfo, "first", {});
+  }
+  {
+    obs::EventLog log;
+    log.open(path);  // append: the first line must survive
+    log.log(obs::LogLevel::kInfo, "second", {});
+  }
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const std::vector<std::string> written = lines_of(text);
+  ASSERT_EQ(written.size(), 2u);
+  EXPECT_NE(written[0].find("\"first\""), std::string::npos);
+  EXPECT_NE(written[1].find("\"second\""), std::string::npos);
+  std::remove(path.c_str());
+
+  obs::EventLog bad;
+  EXPECT_THROW(bad.open("/nonexistent_dir_cts_test/events.jsonl"),
+               cts::util::InvalidArgument);
+}
+
+}  // namespace

@@ -48,20 +48,58 @@ TEST(ResourceProbe, RestartRearmsDeltas) {
 
 TEST(PerfCounterGroup, CountsOrDegradesGracefully) {
   obs::PerfCounterGroup group;
+  // The facade always has a backend: perf_event, or the tsc fallback.
+  ASSERT_TRUE(group.available());
+  EXPECT_TRUE(group.unavailable_reason().empty());
   group.start();
   busy_work();
   const obs::HwCounters hw = group.stop();
-  if (hw.available) {
-    EXPECT_TRUE(hw.unavailable_reason.empty());
-    EXPECT_FALSE(hw.values.empty());
+  ASSERT_TRUE(hw.available);
+  EXPECT_TRUE(hw.unavailable_reason.empty());
+  EXPECT_FALSE(hw.values.empty());
+  EXPECT_EQ(hw.backend, group.backend_name());
+  if (hw.backend == "perf_event") {
     // The busy loop retires tens of millions of instructions.
     EXPECT_GT(hw.value("instructions"), 1'000'000u);
     EXPECT_GT(hw.ipc(), 0.0);
   } else {
+    // Degraded path: cycles only, with the degradation recorded as a note.
+    EXPECT_EQ(hw.backend, "tsc");
+    EXPECT_GT(hw.value("cycles"), 0u);
+    EXPECT_EQ(hw.value("instructions"), 0u);
+    EXPECT_DOUBLE_EQ(hw.ipc(), 0.0);
+    EXPECT_FALSE(hw.note.empty());
+  }
+}
+
+TEST(SamplerBackend, TscFallbackAlwaysCounts) {
+  const auto backend = obs::make_tsc_backend();
+  ASSERT_NE(backend, nullptr);
+  EXPECT_STREQ(backend->name(), "tsc");
+  EXPECT_TRUE(backend->available());
+  EXPECT_TRUE(backend->unavailable_reason().empty());
+  backend->start();
+  busy_work();
+  const obs::HwCounters hw = backend->stop();
+  EXPECT_TRUE(hw.available);
+  EXPECT_EQ(hw.backend, "tsc");
+  // The busy loop takes well over a microsecond under either tick source.
+  EXPECT_GT(hw.value("cycles"), 1'000u);
+  EXPECT_FALSE(hw.note.empty());
+}
+
+TEST(SamplerBackend, PerfEventReportsAvailabilityConsistently) {
+  const auto backend = obs::make_perf_event_backend();
+  ASSERT_NE(backend, nullptr);
+  EXPECT_STREQ(backend->name(), "perf_event");
+  backend->start();
+  busy_work();
+  const obs::HwCounters hw = backend->stop();
+  EXPECT_EQ(hw.available, backend->available());
+  if (!backend->available()) {
     // Degradation is a recorded reason, not an error.
     EXPECT_FALSE(hw.unavailable_reason.empty());
     EXPECT_TRUE(hw.values.empty());
-    EXPECT_DOUBLE_EQ(hw.ipc(), 0.0);
   }
 }
 
@@ -90,7 +128,13 @@ TEST(PerfReport, SerialisesToValidJson) {
   EXPECT_GT(doc.at("resources").at("max_rss_kb").as_number(), 0.0);
   const obs::JsonValue& hw = doc.at("hw");
   if (hw.at("available").as_bool()) {
-    EXPECT_NE(hw.at("counters").find("instructions"), nullptr);
+    if (hw.at("backend").as_string() == "perf_event") {
+      EXPECT_NE(hw.at("counters").find("instructions"), nullptr);
+    } else {
+      EXPECT_EQ(hw.at("backend").as_string(), "tsc");
+      EXPECT_NE(hw.at("counters").find("cycles"), nullptr);
+      EXPECT_FALSE(hw.at("note").as_string().empty());
+    }
   } else {
     EXPECT_FALSE(hw.at("reason").as_string().empty());
   }

@@ -8,14 +8,22 @@
 //   * when a worker dies mid-job (--fault-exit-after), its shard must be
 //     retried on the other worker and the merged report still diff clean;
 //   * when every worker is down, the dispatcher falls back to local
-//     fork/exec and still completes.
+//     fork/exec and still completes;
+//   * --trace produces ONE merged Chrome trace with a named lane per
+//     worker whose clock-corrected job spans nest inside the dispatcher's
+//     dispatch windows, --log produces valid cts.events.v1 JSONL, and
+//     cts_obstop can query a live daemon's cts.stats.v1 endpoint.
 
 #include <gtest/gtest.h>
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include <sys/wait.h>
 
@@ -42,6 +50,9 @@ const char* kBench = "fig9_sim_markov";
 std::string simd() { return std::string(CTS_TOOLS_BIN_DIR) + "/cts_simd"; }
 std::string shardd() {
   return std::string(CTS_TOOLS_BIN_DIR) + "/cts_shardd";
+}
+std::string obstop() {
+  return std::string(CTS_TOOLS_BIN_DIR) + "/cts_obstop";
 }
 
 /// Starts a cts_shardd in the background and returns its bound port.
@@ -124,6 +135,159 @@ TEST(ShardDE2E, LoopbackTwoWorkerRunDiffsCleanAgainstSingleProcess) {
   EXPECT_EQ(counters.at("simd.net.worker.0.ok").as_number(), 1.0);
   EXPECT_EQ(counters.at("simd.net.worker.1.ok").as_number(), 1.0);
   EXPECT_EQ(counters.find("simd.net.local_fallback_shards"), nullptr);
+}
+
+TEST(ShardDE2E, MergedTraceHasClockCorrectedWorkerLanesAndValidEventLog) {
+  const std::string dir = ::testing::TempDir() + "/shardd_trace";
+  ASSERT_EQ(fresh_dir(dir), 0);
+  const std::string single = reference_metrics(dir);
+
+  const int p1 = start_worker(dir, "w1", "--max-jobs=1");
+  const int p2 = start_worker(dir, "w2", "--max-jobs=1");
+  ASSERT_GT(p1, 0);
+  ASSERT_GT(p2, 0);
+
+  const std::string merged = dir + "/net_metrics.json";
+  const std::string trace = dir + "/trace.json";
+  const std::string events = dir + "/events.jsonl";
+  ASSERT_EQ(
+      shell(kScale +
+            ("'" + simd() + "' run " + kBench + " --workers=127.0.0.1:" +
+             std::to_string(p1) + ",127.0.0.1:" + std::to_string(p2) +
+             " --shards=2 --out-dir='" + dir + "/net_out' --metrics='" +
+             merged + "' --trace='" + trace + "' --log='" + events +
+             "' --bench-dir='" + CTS_BENCH_BIN_DIR + "' --quiet > '" + dir +
+             "/net.log' 2>&1")),
+      0);
+
+  // Observability must not perturb the result: the merged report is still
+  // bit-identical to the single-process reference.
+  EXPECT_EQ(
+      shell("'" + simd() + "' diff '" + single + "' '" + merged + "' --quiet"),
+      0);
+
+  // One strict-JSON Chrome trace, one named lane per process: the
+  // dispatcher (pid 1) plus each worker (pids 2 and 3).
+  const std::string trace_text = cu::read_text_file(trace);
+  std::string error;
+  ASSERT_TRUE(obs::json_parse_check(trace_text, &error)) << error;
+  const obs::JsonValue doc = obs::json_parse(trace_text);
+  const obs::JsonValue& trace_events = doc.at("traceEvents");
+
+  std::set<double> lane_pids;
+  struct Window {
+    double start;
+    double end;
+  };
+  std::vector<Window> dispatch_windows;  // dispatcher "simd.net.job" spans
+  std::vector<Window> worker_spans;      // every span in a worker lane
+  std::set<double> worker_span_pids;
+  for (std::size_t i = 0; i < trace_events.size(); ++i) {
+    const obs::JsonValue& e = trace_events.at(i);
+    if (e.at("ph").as_string() == "M") {
+      EXPECT_EQ(e.at("name").as_string(), "process_name");
+      lane_pids.insert(e.at("pid").as_number());
+      continue;
+    }
+    ASSERT_EQ(e.at("ph").as_string(), "X");
+    const double pid = e.at("pid").as_number();
+    const double ts = e.at("ts").as_number();
+    const double dur = e.at("dur").as_number();
+    if (pid == 1.0 && e.at("name").as_string() == "simd.net.job") {
+      dispatch_windows.push_back({ts, ts + dur});
+    } else if (pid >= 2.0) {
+      worker_spans.push_back({ts, ts + dur});
+      worker_span_pids.insert(pid);
+    }
+  }
+  EXPECT_EQ(lane_pids, (std::set<double>{1.0, 2.0, 3.0}));
+  ASSERT_EQ(dispatch_windows.size(), 2u);  // one dispatched job per shard
+  // Both workers served a job, so both lanes carry spans.
+  EXPECT_EQ(worker_span_pids, (std::set<double>{2.0, 3.0}));
+  ASSERT_FALSE(worker_spans.empty());
+
+  // The offset correction must map every worker span INSIDE one of the
+  // dispatcher's job windows.  The estimation error is bounded by half the
+  // loopback round-trip; 50 ms of slack is orders of magnitude above it.
+  const double slack_us = 50'000.0;
+  for (const Window& span : worker_spans) {
+    bool nested = false;
+    for (const Window& window : dispatch_windows) {
+      nested = nested || (span.start >= window.start - slack_us &&
+                          span.end <= window.end + slack_us);
+    }
+    EXPECT_TRUE(nested) << "worker span [" << span.start << ", " << span.end
+                        << "] outside every dispatch window";
+  }
+
+  // The event log: strict cts.events.v1 JSONL covering the run lifecycle.
+  std::ifstream in(events);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::set<std::string> seen;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ASSERT_TRUE(obs::json_parse_check(line, &error)) << error << "\n" << line;
+    const obs::JsonValue event = obs::json_parse(line);
+    EXPECT_EQ(event.at("schema").as_string(), "cts.events.v1");
+    seen.insert(event.at("event").as_string());
+  }
+  EXPECT_TRUE(seen.count("run.start"));
+  EXPECT_TRUE(seen.count("job.ok"));
+  EXPECT_TRUE(seen.count("run.done"));
+
+  // The shipped validator agrees with the asserts above.
+  EXPECT_EQ(shell("'" + obstop() + "' --validate '" + trace + "' '" + events +
+                  "' --quiet > /dev/null 2>&1"),
+            0);
+}
+
+TEST(ShardDE2E, ObstopQueriesTheLiveStatsEndpoint) {
+  const std::string dir = ::testing::TempDir() + "/shardd_stats";
+  ASSERT_EQ(fresh_dir(dir), 0);
+  const int p1 = start_worker(dir, "w1", "--max-jobs=1");
+  ASSERT_GT(p1, 0);
+
+  // Query the live daemon BEFORE any job: stats must not consume the
+  // --max-jobs budget (the job dispatched below still gets served).
+  const std::string stats_path = dir + "/stats.json";
+  ASSERT_EQ(shell("'" + obstop() + "' --json --workers=127.0.0.1:" +
+                  std::to_string(p1) + " > '" + stats_path + "' 2>'" + dir +
+                  "/obstop.log'"),
+            0);
+  const std::string text = cu::read_text_file(stats_path);
+  std::string error;
+  ASSERT_TRUE(obs::json_parse_check(text, &error)) << error << text;
+  const obs::JsonValue stats = obs::json_parse(text);
+  EXPECT_EQ(stats.at("schema").as_string(), "cts.stats.v1");
+  EXPECT_EQ(stats.at("worker").as_string(),
+            "cts_shardd:" + std::to_string(p1));
+  EXPECT_GT(stats.at("pid").as_number(), 0.0);
+  EXPECT_GE(stats.at("uptime_s").as_number(), 0.0);
+  const obs::JsonValue& jobs = stats.at("jobs");
+  EXPECT_EQ(jobs.at("in_flight").as_number(), 0.0);
+  EXPECT_EQ(jobs.at("ok").as_number(), 0.0);
+  EXPECT_EQ(jobs.at("failed").as_number(), 0.0);
+  EXPECT_GE(stats.at("stats_served").as_number(), 1.0);
+  // The lossless metrics snapshot and the span table are present even on
+  // an idle daemon (both empty, but structurally valid).
+  EXPECT_NE(stats.at("metrics").find("counters"), nullptr);
+  EXPECT_NE(stats.find("spans"), nullptr);
+
+  // The stats file itself passes the shipped validator.
+  EXPECT_EQ(shell("'" + obstop() + "' --validate '" + stats_path +
+                  "' --quiet > /dev/null 2>&1"),
+            0);
+
+  // Drain the worker (--max-jobs=1) so the daemon exits: the stats query
+  // above must not have eaten the job budget.
+  const std::string merged = dir + "/net_metrics.json";
+  EXPECT_EQ(shell(kScale + ("'" + simd() + "' run " + kBench +
+                            " --workers=127.0.0.1:" + std::to_string(p1) +
+                            " --shards=1 --out-dir='" + dir +
+                            "/out' --metrics='" + merged + "' --bench-dir='" +
+                            CTS_BENCH_BIN_DIR + "' --quiet > /dev/null 2>&1")),
+            0);
 }
 
 TEST(ShardDE2E, WorkerKilledMidShardIsRetriedOnTheOtherWorker) {

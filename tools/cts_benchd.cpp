@@ -47,6 +47,7 @@
 #include "bench_suite.hpp"
 #include "cts/obs/bench_compare.hpp"
 #include "cts/obs/bench_stats.hpp"
+#include "cts/obs/event_log.hpp"
 #include "cts/obs/json.hpp"
 #include "cts/obs/perf.hpp"
 #include "cts/util/cli_registry.hpp"
@@ -92,10 +93,18 @@ struct RunSample {
   std::map<std::string, double> metrics;           ///< resources.*
   std::map<std::string, double> hw;                ///< hw.counters.* + ipc
   bool hw_available = false;
+  std::string hw_backend;                          ///< hw.backend when available
   std::string hw_reason;
   std::map<std::string, double> phase_self_us;     ///< phases[].self_us
   std::map<std::string, double> phase_spans;       ///< phases[].spans
 };
+
+double now_s() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
 
 std::string today_utc() {
   const std::time_t now = std::time(nullptr);
@@ -162,6 +171,7 @@ bool run_once(const Options& opt, const bench::BenchSpec& spec,
     const obs::JsonValue& hw = doc.at("hw");
     out->hw_available = hw.at("available").as_bool();
     if (out->hw_available) {
+      out->hw_backend = hw.at("backend").as_string();
       for (const auto& [name, v] : hw.at("counters").members) {
         out->hw[name] = v.as_number();
       }
@@ -291,6 +301,10 @@ int run(const Options& opt) {
   w.end_object();
 
   int failures = 0;
+  obs::log_info("suite.start",
+                {{"suite", opt.suite},
+                 {"benches", static_cast<std::uint64_t>(selected.size())},
+                 {"repeats", static_cast<std::int64_t>(opt.repeats)}});
   w.key("benches").begin_object();
   for (const bench::BenchSpec* spec : selected) {
     if (!opt.quiet) {
@@ -300,6 +314,7 @@ int run(const Options& opt) {
     std::vector<RunSample> samples;
     std::string error;
     bool failed = false;
+    const double bench_start_s = now_s();
     const long long total_runs = opt.warmup + opt.repeats;
     for (long long i = 0; i < total_runs; ++i) {
       const std::string perf_path =
@@ -320,8 +335,15 @@ int run(const Options& opt) {
     }
     if (failed || samples.empty()) {
       ++failures;
+      obs::log_warn("bench.fail",
+                    {{"bench", spec->id},
+                     {"error", failed ? error : std::string("no samples")}});
       continue;
     }
+    obs::log_info("bench.done",
+                  {{"bench", spec->id},
+                   {"runs", static_cast<std::uint64_t>(samples.size())},
+                   {"wall_ms", (now_s() - bench_start_s) * 1e3}});
 
     w.key(spec->id).begin_object();
     w.key("binary").value(spec->binary);
@@ -346,6 +368,13 @@ int run(const Options& opt) {
     w.key("hw").begin_object();
     w.key("available").value(hw_ok);
     if (hw_ok) {
+      const bool same_backend =
+          std::all_of(samples.begin(), samples.end(),
+                      [&](const RunSample& s) {
+                        return s.hw_backend == samples.front().hw_backend;
+                      });
+      w.key("backend").value(same_backend ? samples.front().hw_backend
+                                          : std::string("mixed"));
       w.key("counters").begin_object();
       for (const char* name : kHwCounterNames) {
         if (samples.front().hw.find(name) == samples.front().hw.end()) {
@@ -416,6 +445,13 @@ int run(const Options& opt) {
   }
   out << body.str() << '\n';
   out.close();
+  obs::log_info("suite.done",
+                {{"suite", opt.suite},
+                 {"out", out_path},
+                 {"benches", static_cast<std::int64_t>(
+                                 static_cast<int>(selected.size()) -
+                                 failures)},
+                 {"failed", failures}});
   if (!opt.quiet) {
     std::fprintf(stderr, "[cts_benchd] wrote %s (%d benches, %d failed)\n",
                  out_path.c_str(),
@@ -475,6 +511,13 @@ int main(int argc, char** argv) {
       return 0;
     }
     flags.warn_unknown(std::cerr, cu::cli::flag_names(cu::cli::kBenchdFlags));
+
+    // Structured events are opt-in: --log appends cts.events.v1 JSONL with
+    // the suite/bench lifecycle (stderr keeps the human progress lines).
+    const std::string log_path = flags.get_string("log", "");
+    if (!log_path.empty()) obs::EventLog::global().open(log_path);
+    obs::EventLog::global().set_min_level(
+        obs::parse_log_level(flags.get_string("log-level", "info")));
 
     Options opt;
     opt.suite = flags.get_string("suite", opt.suite);

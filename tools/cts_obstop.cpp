@@ -1,0 +1,303 @@
+// cts-obstop: live status monitor for cts_shardd workers.
+//
+//   cts_obstop --workers=HOST:PORT,... [--interval=SECS] [--iterations=N]
+//              [--timeout=SECS] [--quiet]
+//   cts_obstop --workers=HOST:PORT,... --json
+//   cts_obstop --validate FILE.json... FILE.jsonl...
+//
+// Polls each worker's cts.statsreq.v1 endpoint (the job port — cts_shardd
+// answers stats concurrently with jobs, without touching the job budget)
+// and renders one throttled table row per worker: pid, uptime, jobs in
+// flight / ok / failed / retried, served stats queries, and the job wall
+// time observed by the worker itself.  On a TTY the table repaints in
+// place; when stdout is a pipe it appends one table per poll.
+//
+// --json is the scripting mode: query every worker once and print the raw
+// schema-valid cts.stats.v1 replies verbatim — a single worker's object as
+// is, several workers wrapped in a JSON array — then exit.  CI uses it to
+// probe live daemons.
+//
+// --validate turns the tool into the strict checker for the observability
+// artifacts: each *.jsonl argument is checked line by line as cts.events.v1
+// (every line a strict RFC 8259 object with a "schema" string member), any
+// other file as one strict JSON document (a merged trace or a stats reply).
+//
+// Exit codes: 0 success, 1 a worker could not be queried (or a validated
+// file failed), 2 usage errors.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cts/net/socket.hpp"
+#include "cts/net/stats.hpp"
+#include "cts/obs/json.hpp"
+#include "cts/util/cli_registry.hpp"
+#include "cts/util/error.hpp"
+#include "cts/util/flags.hpp"
+#include "cts/util/table.hpp"
+
+namespace net = cts::net;
+namespace obs = cts::obs;
+namespace cu = cts::util;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: cts_obstop --workers=HOST:PORT,... [--interval=SECS]\n"
+      "                  [--iterations=N] [--timeout=SECS] [--quiet]\n"
+      "       cts_obstop --workers=HOST:PORT,... --json\n"
+      "       cts_obstop --validate FILE.json... FILE.jsonl...\n\n"
+      "Polls cts_shardd stats endpoints (cts.statsreq.v1 on the job port)\n"
+      "and renders a live per-worker status table.  --json prints each\n"
+      "worker's raw cts.stats.v1 reply once and exits (scripting / CI).\n"
+      "--validate strictly checks observability artifacts instead: *.jsonl\n"
+      "as cts.events.v1 lines, anything else as one RFC 8259 document.\n"
+      "Exit codes: 0 success, 1 query/validation failure, 2 usage error.\n");
+}
+
+/// Tokens not consumed by the flag parser, mirroring Flags' rule that a
+/// bare "--key" followed by a non-flag token takes it as its value.
+std::vector<std::string> positionals(int argc, char** argv) {
+  std::vector<std::string> out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      if (token.find('=') == std::string::npos && i + 1 < argc &&
+          std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        ++i;  // "--key value"
+      }
+      continue;
+    }
+    out.push_back(token);
+  }
+  return out;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// -------------------------------------------------------------------------
+// --validate
+
+/// Checks one cts.events.v1 JSONL file: every non-empty line must be a
+/// strict JSON object carrying a "schema" string member.
+bool validate_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cts_obstop: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  std::size_t events = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::string error;
+    if (!obs::json_parse_check(line, &error)) {
+      std::fprintf(stderr, "cts_obstop: %s:%zu: %s\n", path.c_str(), lineno,
+                   error.c_str());
+      return false;
+    }
+    const obs::JsonValue doc = obs::json_parse(line);
+    const obs::JsonValue* schema = doc.find("schema");
+    if (schema == nullptr || !schema->is_string()) {
+      std::fprintf(stderr,
+                   "cts_obstop: %s:%zu: missing \"schema\" string member\n",
+                   path.c_str(), lineno);
+      return false;
+    }
+    ++events;
+  }
+  if (events == 0) {
+    std::fprintf(stderr, "cts_obstop: %s: no events\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool validate_json(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cts_obstop: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  if (!obs::json_parse_check(buffer.str(), &error)) {
+    std::fprintf(stderr, "cts_obstop: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  return true;
+}
+
+int run_validate(const std::vector<std::string>& files, bool quiet) {
+  if (files.empty()) {
+    std::fprintf(stderr, "cts_obstop: --validate needs at least one file\n");
+    return 2;
+  }
+  bool all_ok = true;
+  for (const std::string& path : files) {
+    const bool ok =
+        ends_with(path, ".jsonl") ? validate_jsonl(path) : validate_json(path);
+    if (ok && !quiet) std::printf("%s: OK\n", path.c_str());
+    all_ok = all_ok && ok;
+  }
+  return all_ok ? 0 : 1;
+}
+
+// -------------------------------------------------------------------------
+// --json (one-shot)
+
+int run_json(const std::vector<net::Endpoint>& workers, double timeout_s,
+             bool quiet) {
+  std::vector<std::string> replies;
+  bool all_ok = true;
+  for (const net::Endpoint& ep : workers) {
+    try {
+      std::string raw;
+      (void)net::query_stats(ep, timeout_s, &raw);  // parse validates
+      replies.push_back(std::move(raw));
+    } catch (const std::exception& e) {
+      all_ok = false;
+      if (!quiet) {
+        std::fprintf(stderr, "cts_obstop: %s: %s\n", ep.str().c_str(),
+                     e.what());
+      }
+    }
+  }
+  if (replies.size() == 1 && workers.size() == 1) {
+    std::printf("%s\n", replies.front().c_str());
+  } else {
+    // Replies are schema-valid JSON documents; the array wrapper is pure
+    // concatenation, so each survives byte-identical.
+    std::string out = "[";
+    for (std::size_t i = 0; i < replies.size(); ++i) {
+      if (i > 0) out += ",";
+      out += replies[i];
+    }
+    out += "]";
+    std::printf("%s\n", out.c_str());
+  }
+  return all_ok ? 0 : 1;
+}
+
+// -------------------------------------------------------------------------
+// live table
+
+std::string format_duration(double seconds) {
+  if (seconds < 120) return cu::format_fixed(seconds, 0) + "s";
+  if (seconds < 7200) return cu::format_fixed(seconds / 60.0, 1) + "m";
+  return cu::format_fixed(seconds / 3600.0, 1) + "h";
+}
+
+int run_table(const std::vector<net::Endpoint>& workers, double interval_s,
+              long long iterations, double timeout_s, bool quiet) {
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+  bool every_poll_ok = true;
+  for (long long poll = 0; iterations <= 0 || poll < iterations; ++poll) {
+    if (poll > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(interval_s));
+    }
+    cu::TextTable table({"worker", "pid", "up", "inflight", "ok", "fail",
+                         "retry", "stats", "job mean ms"});
+    for (const net::Endpoint& ep : workers) {
+      try {
+        const net::WorkerStats s = net::query_stats(ep, timeout_s);
+        std::string wall_ms = "-";
+        for (const auto& [name, hist] : s.metrics.histograms()) {
+          if (name == "shardd.job_wall_ms" && hist.stats().count() > 0) {
+            wall_ms = cu::format_fixed(hist.stats().mean(), 0);
+          }
+        }
+        table.add_row({s.worker, std::to_string(s.pid),
+                       format_duration(s.uptime_s),
+                       std::to_string(s.jobs_in_flight),
+                       std::to_string(s.jobs_ok),
+                       std::to_string(s.jobs_failed),
+                       std::to_string(s.jobs_retried),
+                       std::to_string(s.stats_served), wall_ms});
+      } catch (const std::exception& e) {
+        every_poll_ok = false;
+        table.add_row({ep.str(), "-", "-", "-", "-", "-", "-", "-", "-"});
+        if (!quiet) {
+          std::fprintf(stderr, "cts_obstop: %s: %s\n", ep.str().c_str(),
+                       e.what());
+        }
+      }
+    }
+    if (tty) std::printf("\033[H\033[2J");  // repaint in place
+    std::printf("%s", table.render().c_str());
+    std::fflush(stdout);
+  }
+  return every_poll_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const cu::Flags flags(argc, argv);
+    if (flags.get_bool("help", false)) {
+      usage();
+      return 0;
+    }
+    flags.warn_unknown(std::cerr,
+                       cu::cli::flag_names(cu::cli::kObstopFlags));
+    const bool quiet = flags.get_bool("quiet", false);
+
+    if (flags.has("validate")) {
+      // --validate FILE... or --validate=FILE: the flag's own value (when
+      // it consumed the first file) joins the positional file list.
+      std::vector<std::string> files = positionals(argc, argv);
+      const std::string value = flags.get_string("validate", "");
+      if (value != "true" && !value.empty()) {
+        files.insert(files.begin(), value);
+      }
+      return run_validate(files, quiet);
+    }
+
+    const std::string worker_arg = flags.get_string("workers", "");
+    if (worker_arg.empty()) {
+      usage();
+      return 2;
+    }
+    const std::vector<net::Endpoint> workers =
+        net::parse_worker_list(worker_arg);
+    const double timeout_s = flags.get_double("timeout", 5.0);
+    if (timeout_s <= 0) {
+      std::fprintf(stderr, "cts_obstop: --timeout must be > 0\n");
+      return 2;
+    }
+
+    if (flags.get_bool("json", false)) {
+      return run_json(workers, timeout_s, quiet);
+    }
+
+    const double interval_s = flags.get_double("interval", 2.0);
+    if (interval_s <= 0) {
+      std::fprintf(stderr, "cts_obstop: --interval must be > 0\n");
+      return 2;
+    }
+    return run_table(workers, interval_s, flags.get_int("iterations", 0),
+                     timeout_s, quiet);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cts_obstop: %s\n", e.what());
+    return 2;
+  }
+}

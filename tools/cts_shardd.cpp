@@ -2,15 +2,36 @@
 //
 //   cts_shardd [--port=N] [--port-file=PATH] [--bench-dir=DIR]
 //              [--work-dir=DIR] [--max-jobs=N] [--fault-exit-after=N]
-//              [--quiet]
+//              [--log=PATH] [--log-level=LEVEL] [--quiet]
 //
 // Listens on a TCP port (0 = ephemeral; the chosen port is printed and,
-// with --port-file, written to a file the launcher can poll), accepts one
-// length-prefixed cts.job.v1 request per connection, runs the requested
-// replication shard as a child process, and streams the child's
-// cts.shard.v1 file back verbatim inside a cts.jobresult.v1 reply (or a
-// structured error: unknown bench, missing binary, child crash/signal/
-// timeout).  tools/cts_simd `run --workers=` is the dispatching client.
+// with --port-file, written to a file the launcher can poll) and answers
+// two request schemas on the same port, each connection handled on its own
+// thread:
+//
+//   * cts.job.v1 — runs the requested replication shard as a child process
+//     and streams the child's cts.shard.v1 file back verbatim inside a
+//     cts.jobresult.v1 reply (or a structured error: unknown bench,
+//     missing binary, child crash/signal/timeout).  Job children are
+//     serialized (one at a time) so a shard's timing is never polluted by
+//     a sibling; tools/cts_simd `run --workers=` is the dispatching
+//     client.  Every reply carries an `obs` section: the job's metrics
+//     shard, its trace spans on this daemon's clock, and the
+//     request-received / reply-sent timestamps the dispatcher uses for
+//     clock-offset correction when merging traces across workers.
+//   * cts.statsreq.v1 — replies immediately (concurrently with any running
+//     job) with a cts.stats.v1 snapshot: jobs in flight / ok / failed /
+//     retried, a lossless metrics-registry snapshot and the span self-time
+//     table.  Stats queries do not count against --max-jobs and do not
+//     trigger --fault-exit-after: a monitor must never eat the job budget
+//     or trip a fault drill.
+//
+// Operational events (job start/done/fail, connection errors, shutdown)
+// are emitted as cts.events.v1 JSONL — to --log=PATH when given, else to
+// stderr unless --quiet; --log-level sets the sink threshold (default
+// info).  A fixed-size ring buffer additionally records *every* event, and
+// is dumped to <work-dir>/job_<n>_flight.jsonl when a job child times out
+// or dies on a signal — the flight recorder for post-mortems.
 //
 // Safety properties:
 //   * the job names a bench by REGISTRY id (bench_suite.hpp); the daemon
@@ -25,14 +46,17 @@
 //
 // --fault-exit-after=N is a fault-injection hook for the resilience tests
 // and drills: after N jobs are served, the daemon dies abruptly (_Exit)
-// upon READING the next request — from the client's side, a worker killed
-// mid-shard.  --max-jobs=N exits cleanly after N jobs (CI smoke jobs).
+// upon READING the next job request — from the client's side, a worker
+// killed mid-shard.  --max-jobs=N exits cleanly after N jobs (CI smoke
+// jobs).
 //
 // Exit codes: 0 clean shutdown (--max-jobs reached), 2 usage/setup errors.
 
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
@@ -42,11 +66,20 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 
 #include "bench_suite.hpp"
 #include "cts/net/job.hpp"
 #include "cts/net/socket.hpp"
+#include "cts/net/stats.hpp"
+#include "cts/obs/event_log.hpp"
+#include "cts/obs/json.hpp"
+#include "cts/obs/metrics.hpp"
+#include "cts/obs/span_stats.hpp"
+#include "cts/obs/trace.hpp"
 #include "cts/sim/shard.hpp"
 #include "cts/util/cli_registry.hpp"
 #include "cts/util/error.hpp"
@@ -56,6 +89,7 @@
 
 namespace fs = std::filesystem;
 namespace net = cts::net;
+namespace obs = cts::obs;
 namespace cu = cts::util;
 
 namespace {
@@ -63,6 +97,10 @@ namespace {
 constexpr double kDefaultJobTimeoutS = 600.0;
 constexpr double kRequestReadTimeoutS = 30.0;
 constexpr double kReplyWriteTimeoutS = 60.0;
+/// Accept poll interval: short enough that --max-jobs exits promptly.
+constexpr double kAcceptTimeoutS = 0.25;
+/// How long a clean shutdown waits for in-flight connections to drain.
+constexpr double kDrainTimeoutS = 30.0;
 
 struct Options {
   std::uint16_t port = 0;
@@ -78,12 +116,16 @@ void usage() {
   std::printf(
       "usage: cts_shardd [--port=N] [--port-file=PATH] [--bench-dir=DIR]\n"
       "                  [--work-dir=DIR] [--max-jobs=N]\n"
-      "                  [--fault-exit-after=N] [--quiet]\n\n"
+      "                  [--fault-exit-after=N] [--log=PATH]\n"
+      "                  [--log-level=debug|info|warn|error] [--quiet]\n\n"
       "TCP worker for `cts_simd run --workers=`: accepts cts.job.v1 shard\n"
       "jobs (bench registry id + shard spec + REPRO_* env + deadline), runs\n"
       "the shard as a child process, and streams the cts.shard.v1 payload\n"
-      "back.  --port=0 picks an ephemeral port (printed, and written to\n"
-      "--port-file when given).\n"
+      "back with a per-job obs capture.  The same port answers\n"
+      "cts.statsreq.v1 with a live cts.stats.v1 status snapshot (see\n"
+      "cts_obstop).  Events go to --log as cts.events.v1 JSONL (default:\n"
+      "stderr unless --quiet).  --port=0 picks an ephemeral port (printed,\n"
+      "and written to --port-file when given).\n"
       "Exit codes: 0 clean shutdown (--max-jobs), 2 usage or setup error.\n");
 }
 
@@ -94,81 +136,274 @@ double monotonic_s() {
          static_cast<double>(ts.tv_nsec) * 1e-9;
 }
 
-/// Runs one shard job to completion; fills in a cts.jobresult.v1 reply.
+/// Everything the connection threads share.  Counters are guarded by `mu`;
+/// job children are serialized by `job_mu`; `metrics` and the global
+/// TraceRecorder / EventLog are internally synchronized.
+struct DaemonState {
+  const Options* opt = nullptr;
+  std::uint16_t port = 0;
+  double start_s = 0;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  long long next_job = 0;          ///< job requests accepted (names files)
+  long long served = 0;            ///< job replies sent (--max-jobs budget)
+  std::uint64_t jobs_ok = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_retried = 0;
+  std::uint64_t stats_served = 0;
+  std::uint64_t in_flight = 0;     ///< job accepted, reply not yet sent
+  int active_conns = 0;
+
+  std::mutex job_mu;               ///< one bench child at a time
+  obs::MetricsRegistry metrics;    ///< daemon-lifetime (stats endpoint)
+};
+
+/// Runs one shard job to completion; fills in a cts.jobresult.v1 reply
+/// including the per-job obs capture.  Called with st->job_mu held, so the
+/// trace slice [event_count() at entry, end) belongs to this job alone.
 net::JobResult run_job(const Options& opt, const net::JobRequest& job,
-                       long long job_index) {
+                       long long job_index, std::int64_t recv_us,
+                       DaemonState* st) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+  const std::size_t span_begin = recorder.event_count();
   net::JobResult result;
+  result.has_obs = true;
+  result.obs.recv_us = recv_us;
   const double start = monotonic_s();
-
-  // The registry is the allowlist: an id it does not know throws here and
-  // becomes a structured error reply, never an exec.
-  const bench::BenchSpec& spec = bench::spec(job.bench_id);
-  const std::string binary = (fs::path(opt.bench_dir) / spec.binary).string();
-  if (::access(binary.c_str(), X_OK) != 0) {
-    result.error = "bench binary " + binary + " is not executable";
-    return result;
-  }
-
   const std::string tag = std::to_string(job_index);
-  const std::string shard_path =
-      (fs::path(opt.work_dir) / ("job_" + tag + "_shard.json")).string();
-  const std::string log_path =
-      (fs::path(opt.work_dir) / ("job_" + tag + ".log")).string();
-  const std::string shard_flag =
-      "--shard=" + cts::sim::format_shard_spec({job.shard_index,
-                                                job.shard_count});
-  const std::string out_flag = "--shard-out=" + shard_path;
 
-  const pid_t pid = ::fork();
-  if (pid < 0) {
-    result.error = std::string("fork failed: ") + std::strerror(errno);
-    return result;
-  }
-  if (pid == 0) {
-    // The job's env is authoritative: wipe every scale override the daemon
-    // itself inherited, then apply exactly what the client sent.
-    for (const std::string& name : net::job_env_allowlist()) {
-      ::unsetenv(name.c_str());
-    }
-    ::unsetenv("REPRO_SHARD");
-    for (const auto& [name, value] : job.env) {
-      ::setenv(name.c_str(), value.c_str(), 1);
-    }
-    std::FILE* log = std::freopen(log_path.c_str(), "w", stdout);
-    if (log != nullptr) ::dup2(STDOUT_FILENO, STDERR_FILENO);
-    ::execl(binary.c_str(), binary.c_str(), shard_flag.c_str(),
-            out_flag.c_str(), "--quiet", static_cast<char*>(nullptr));
-    std::perror("cts_shardd: execl");
-    std::_Exit(127);
-  }
+  {
+    obs::ScopedSpan job_span("shardd.job");
 
-  const double timeout_s =
-      job.timeout_s > 0 ? job.timeout_s : kDefaultJobTimeoutS;
-  const cu::WaitOutcome outcome = cu::wait_child(pid, timeout_s);
+    // The registry is the allowlist: an id it does not know throws here and
+    // becomes a structured error reply, never an exec.
+    const bench::BenchSpec& spec = bench::spec(job.bench_id);
+    const std::string binary =
+        (fs::path(opt.bench_dir) / spec.binary).string();
+    if (::access(binary.c_str(), X_OK) != 0) {
+      result.error = "bench binary " + binary + " is not executable";
+    } else {
+      const std::string shard_path =
+          (fs::path(opt.work_dir) / ("job_" + tag + "_shard.json")).string();
+      const std::string log_path =
+          (fs::path(opt.work_dir) / ("job_" + tag + ".log")).string();
+      const std::string shard_flag =
+          "--shard=" + cts::sim::format_shard_spec({job.shard_index,
+                                                    job.shard_count});
+      const std::string out_flag = "--shard-out=" + shard_path;
+
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        result.error = std::string("fork failed: ") + std::strerror(errno);
+      } else if (pid == 0) {
+        // The job's env is authoritative: wipe every scale override the
+        // daemon itself inherited, then apply exactly what the client sent.
+        for (const std::string& name : net::job_env_allowlist()) {
+          ::unsetenv(name.c_str());
+        }
+        ::unsetenv("REPRO_SHARD");
+        for (const auto& [name, value] : job.env) {
+          ::setenv(name.c_str(), value.c_str(), 1);
+        }
+        std::FILE* log = std::freopen(log_path.c_str(), "w", stdout);
+        if (log != nullptr) ::dup2(STDOUT_FILENO, STDERR_FILENO);
+        ::execl(binary.c_str(), binary.c_str(), shard_flag.c_str(),
+                out_flag.c_str(), "--quiet", static_cast<char*>(nullptr));
+        std::perror("cts_shardd: execl");
+        std::_Exit(127);
+      } else {
+        const double timeout_s =
+            job.timeout_s > 0 ? job.timeout_s : kDefaultJobTimeoutS;
+        cu::WaitOutcome outcome;
+        {
+          obs::ScopedSpan exec_span("shardd.exec");
+          outcome = cu::wait_child(pid, timeout_s);
+        }
+        if (!outcome.ok()) {
+          result.error = std::string(spec.binary) + " " + outcome.describe() +
+                         " (shard " + std::to_string(job.shard_index) + "/" +
+                         std::to_string(job.shard_count) + ")";
+          ::unlink(shard_path.c_str());
+          if (outcome.kind == cu::WaitOutcome::Kind::kTimeout ||
+              outcome.kind == cu::WaitOutcome::Kind::kSignaled) {
+            // Flight recorder: dump the full event ring (all levels) so a
+            // post-mortem sees what the daemon did right before the kill.
+            const std::string flight_path =
+                (fs::path(opt.work_dir) / ("job_" + tag + "_flight.jsonl"))
+                    .string();
+            if (obs::EventLog::global().dump_ring_to(flight_path)) {
+              obs::log_error("job.flight_recorder",
+                             {{"job", static_cast<std::int64_t>(job_index)},
+                              {"path", flight_path},
+                              {"outcome", outcome.describe()}});
+            }
+          }
+        } else {
+          obs::ScopedSpan validate_span("shardd.validate");
+          try {
+            const std::string text = cu::read_text_file(shard_path);
+            (void)cts::sim::parse_shard_file(text);  // refuse broken files
+            result.shard_json = text;
+            result.ok = true;
+          } catch (const cu::Error& e) {
+            result.error = std::string("shard file invalid: ") + e.what();
+          }
+          ::unlink(shard_path.c_str());
+        }
+      }
+    }
+  }  // closes "shardd.job"
+
   result.elapsed_s = monotonic_s() - start;
-  if (!outcome.ok()) {
-    result.error = std::string(spec.binary) + " " + outcome.describe() +
-                   " (shard " + std::to_string(job.shard_index) + "/" +
-                   std::to_string(job.shard_count) + ")";
-    ::unlink(shard_path.c_str());
-    return result;
-  }
 
-  try {
-    const std::string text = cu::read_text_file(shard_path);
-    (void)cts::sim::parse_shard_file(text);  // refuse to ship a broken file
-    result.shard_json = text;
-    result.ok = true;
-  } catch (const cu::Error& e) {
-    result.error = std::string("shard file invalid: ") + e.what();
-  }
-  ::unlink(shard_path.c_str());
+  // Per-job metrics shard: shipped to the dispatcher as-is (it merges
+  // per-job deltas, never cumulative totals) and folded into the daemon's
+  // own registry for the stats endpoint.
+  obs::MetricsShard job_metrics;
+  job_metrics.add(result.ok ? "shardd.jobs_ok" : "shardd.jobs_failed");
+  if (job.attempt > 1) job_metrics.add("shardd.jobs_retried");
+  job_metrics.observe("shardd.job_wall_ms", result.elapsed_s * 1e3);
+  st->metrics.merge(job_metrics);
+  result.obs.metrics = std::move(job_metrics);
+
+  const std::vector<obs::TraceEvent> all = recorder.events();
+  result.obs.spans.assign(
+      all.begin() + static_cast<std::ptrdiff_t>(
+                        std::min(span_begin, all.size())),
+      all.end());
+  result.obs.send_us = recorder.now_us();
   return result;
 }
 
+net::WorkerStats snapshot_stats(DaemonState* st) {
+  net::WorkerStats stats;
+  stats.worker = "cts_shardd:" + std::to_string(st->port);
+  stats.pid = static_cast<std::int64_t>(::getpid());
+  stats.uptime_s = monotonic_s() - st->start_s;
+  {
+    const std::lock_guard<std::mutex> lock(st->mu);
+    ++st->stats_served;  // this query counts itself
+    stats.jobs_in_flight = st->in_flight;
+    stats.jobs_ok = st->jobs_ok;
+    stats.jobs_failed = st->jobs_failed;
+    stats.jobs_retried = st->jobs_retried;
+    stats.stats_served = st->stats_served;
+  }
+  stats.metrics = st->metrics.snapshot();
+  stats.spans = obs::aggregate_spans(obs::TraceRecorder::global().events());
+  return stats;
+}
+
+/// One connection, on its own thread: read the request, discriminate by
+/// schema tag, reply.  All failure paths restore the shared counters.
+void handle_connection(net::Socket conn, DaemonState* st) {
+  const Options& opt = *st->opt;
+  bool counted_in_flight = false;
+  long long job_index = -1;
+  try {
+    const std::string request = net::recv_frame(conn, kRequestReadTimeoutS);
+    const std::int64_t recv_us = obs::TraceRecorder::global().now_us();
+
+    std::string schema;
+    try {
+      const obs::JsonValue doc = obs::json_parse(request);
+      const obs::JsonValue* tag = doc.find("schema");
+      if (tag != nullptr && tag->is_string()) schema = tag->as_string();
+    } catch (const cu::Error&) {
+      // Not JSON at all: falls through to the job path, whose strict
+      // parser produces the structured error reply.
+    }
+
+    if (schema == net::kStatsRequestSchema) {
+      net::send_frame(conn, net::write_stats_json(snapshot_stats(st)),
+                      kReplyWriteTimeoutS);
+      obs::log_debug("stats.query", {});
+      return;
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(st->mu);
+      if (opt.fault_exit_after >= 0 && st->served >= opt.fault_exit_after) {
+        // Fault-injection hook: die abruptly mid-job, reply never sent.
+        std::_Exit(137);
+      }
+      job_index = st->next_job++;
+      ++st->in_flight;
+      counted_in_flight = true;
+    }
+
+    net::JobResult result;
+    int attempt = 0;
+    try {
+      const net::JobRequest job = net::parse_job(request);
+      attempt = job.attempt;
+      obs::log_debug(
+          "job.start",
+          {{"job", static_cast<std::int64_t>(job_index)},
+           {"bench", job.bench_id},
+           {"shard", std::to_string(job.shard_index) + "/" +
+                         std::to_string(job.shard_count)},
+           {"attempt", job.attempt}});
+      {
+        const std::lock_guard<std::mutex> job_lock(st->job_mu);
+        result = run_job(opt, job, job_index, recv_us, st);
+      }
+      // The per-job summary line: everything a post-mortem grep needs.
+      obs::log_info(
+          result.ok ? "job.done" : "job.fail",
+          {{"job", static_cast<std::int64_t>(job_index)},
+           {"bench", job.bench_id},
+           {"shard", std::to_string(job.shard_index) + "/" +
+                         std::to_string(job.shard_count)},
+           {"wall_ms", result.elapsed_s * 1e3},
+           {"status", result.ok ? "ok" : result.error},
+           {"attempt", job.attempt}});
+    } catch (const cu::Error& e) {
+      result.ok = false;
+      result.error = e.what();
+      obs::log_warn("job.reject", {{"job", static_cast<std::int64_t>(job_index)}, {"error", e.what()}});
+    }
+    net::send_frame(conn, net::write_job_result_json(result),
+                    kReplyWriteTimeoutS);
+
+    {
+      const std::lock_guard<std::mutex> lock(st->mu);
+      ++st->served;
+      --st->in_flight;
+      counted_in_flight = false;
+      if (result.ok) {
+        ++st->jobs_ok;
+      } else {
+        ++st->jobs_failed;
+      }
+      if (attempt > 1) ++st->jobs_retried;
+    }
+  } catch (const net::NetError& e) {
+    // A broken connection affects only that client; keep serving.
+    obs::log_warn("conn.error", {{"error", e.what()}});
+    if (counted_in_flight) {
+      const std::lock_guard<std::mutex> lock(st->mu);
+      --st->in_flight;
+      // The reply never went out, but the job budget was spent: count the
+      // job as served so --max-jobs / fault drills stay deterministic.
+      ++st->served;
+      ++st->jobs_failed;
+    }
+  }
+}
+
 int serve(const Options& opt) {
+  DaemonState st;
+  st.opt = &opt;
+  st.start_s = monotonic_s();
+  // Spans feed both the per-job obs capture and the stats endpoint's span
+  // table, so the recorder is always on in the daemon.
+  obs::TraceRecorder::global().enable();
+
   std::uint16_t port = 0;
   net::Socket listener = net::listen_on(opt.port, &port);
+  st.port = port;
   std::printf("cts_shardd: listening on port %u (bench dir %s)\n",
               static_cast<unsigned>(port), opt.bench_dir.c_str());
   std::fflush(stdout);
@@ -181,51 +416,46 @@ int serve(const Options& opt) {
       return 2;
     }
   }
+  obs::log_info("daemon.start", {{"port", static_cast<std::int64_t>(port)},
+                                 {"bench_dir", opt.bench_dir}});
 
-  long long served = 0;
   for (;;) {
-    net::Socket conn = net::accept_connection(listener, 3600.0);
-    if (!conn.valid()) continue;  // accept window elapsed; keep listening
-    try {
-      const std::string request = net::recv_frame(conn, kRequestReadTimeoutS);
-      if (opt.fault_exit_after >= 0 && served >= opt.fault_exit_after) {
-        // Fault-injection hook: die abruptly mid-job, reply never sent.
-        std::_Exit(137);
+    net::Socket conn = net::accept_connection(listener, kAcceptTimeoutS);
+    if (conn.valid()) {
+      {
+        const std::lock_guard<std::mutex> lock(st.mu);
+        ++st.active_conns;
       }
-      net::JobResult result;
-      try {
-        const net::JobRequest job = net::parse_job(request);
-        if (!opt.quiet) {
-          std::fprintf(stderr, "[job %lld: %s shard %zu/%zu]\n", served,
-                       job.bench_id.c_str(), job.shard_index,
-                       job.shard_count);
+      std::thread([conn = std::move(conn), &st]() mutable {
+        handle_connection(std::move(conn), &st);
+        {
+          const std::lock_guard<std::mutex> lock(st.mu);
+          --st.active_conns;
         }
-        result = run_job(opt, job, served);
-      } catch (const cu::Error& e) {
-        result.ok = false;
-        result.error = e.what();
-      }
-      if (!opt.quiet && !result.ok) {
-        std::fprintf(stderr, "[job %lld failed: %s]\n", served,
-                     result.error.c_str());
-      }
-      net::send_frame(conn, net::write_job_result_json(result),
-                      kReplyWriteTimeoutS);
-      ++served;
-    } catch (const net::NetError& e) {
-      // A broken connection affects only that client; keep serving.
-      if (!opt.quiet) {
-        std::fprintf(stderr, "[connection error: %s]\n", e.what());
-      }
+        st.cv.notify_all();
+      }).detach();
     }
-    if (opt.max_jobs > 0 && served >= opt.max_jobs) {
-      if (!opt.quiet) {
-        std::fprintf(stderr, "[served %lld job(s); exiting (--max-jobs)]\n",
-                     served);
-      }
-      return 0;
+    {
+      const std::lock_guard<std::mutex> lock(st.mu);
+      if (opt.max_jobs > 0 && st.served >= opt.max_jobs) break;
     }
   }
+
+  // Drain: stats/straggler connections get a bounded grace period.
+  {
+    std::unique_lock<std::mutex> lock(st.mu);
+    st.cv.wait_for(lock,
+                   std::chrono::duration<double>(kDrainTimeoutS),
+                   [&st] { return st.active_conns == 0; });
+  }
+  obs::log_info("daemon.exit",
+                {{"served", static_cast<std::int64_t>(st.served)},
+                 {"reason", "max-jobs"}});
+  if (!opt.quiet) {
+    std::fprintf(stderr, "[served %lld job(s); exiting (--max-jobs)]\n",
+                 st.served);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -251,6 +481,18 @@ int main(int argc, char** argv) {
     opt.max_jobs = flags.get_int("max-jobs", 0);
     opt.fault_exit_after = flags.get_int("fault-exit-after", -1);
     opt.quiet = flags.get_bool("quiet", false);
+
+    // Event sink: --log beats stderr; --quiet silences the default stderr
+    // sink but an explicit --log file still receives events.
+    const std::string log_path = flags.get_string("log", "");
+    obs::EventLog& log = obs::EventLog::global();
+    if (!log_path.empty()) {
+      log.open(log_path);
+    } else if (!opt.quiet) {
+      log.to_stream(&std::cerr);
+    }
+    log.set_min_level(obs::parse_log_level(
+        flags.get_string("log-level", "info")));
 
     // Bench binaries: --bench-dir beats CTS_BENCH_DIR beats the build-tree
     // layout convention (tools/ and bench/ are sibling directories).

@@ -67,10 +67,12 @@
 #include "cts/net/job.hpp"
 #include "cts/net/retry.hpp"
 #include "cts/net/socket.hpp"
+#include "cts/obs/event_log.hpp"
 #include "cts/obs/json.hpp"
 #include "cts/obs/metrics.hpp"
 #include "cts/obs/run_report.hpp"
 #include "cts/obs/trace.hpp"
+#include "cts/obs/trace_merge.hpp"
 #include "cts/sim/replication.hpp"
 #include "cts/sim/shard.hpp"
 #include "cts/util/cli_registry.hpp"
@@ -97,7 +99,8 @@ void usage() {
       "       cts_simd run BENCH_ID --workers=HOST:PORT,... [--shards=N]\n"
       "                    [--job-timeout=SECS] [--retries=N] "
       "[--bench-dir=DIR]\n"
-      "                    [--dispatch-metrics=PATH] [--trace=PATH] [...]\n"
+      "                    [--dispatch-metrics=PATH] [--trace=PATH]\n"
+      "                    [--log=PATH] [--log-level=LEVEL] [...]\n"
       "       cts_simd merge SHARD.json... [--metrics=PATH] [--quiet]\n"
       "       cts_simd diff REPORT_A.json REPORT_B.json [--quiet]\n\n"
       "Scale comes from the environment the workers inherit: REPRO_FULL=1,\n"
@@ -309,6 +312,9 @@ struct DispatchState {
   std::vector<int> last_failed_on;      ///< worker of the last failure, -1
   std::vector<std::string> payloads;    ///< per-shard cts.shard.v1 text
   std::vector<std::size_t> fallback;    ///< shards left for local fork/exec
+  /// Per worker endpoint: that worker's job spans, already clock-corrected
+  /// onto the dispatcher timeline — the merged trace's per-worker lanes.
+  std::vector<std::vector<obs::TraceEvent>> worker_spans;
   std::size_t done = 0;
   std::size_t live_workers = 0;
 
@@ -329,21 +335,43 @@ struct DispatchState {
   }
 };
 
-/// Runs one job against one worker; returns the shard payload via *out.
-/// Throws (NetError and friends) or returns a structured failure message.
+/// The worker-side obs capture of one successful job, already mapped onto
+/// the dispatcher's clock.
+struct JobObsCapture {
+  bool has = false;
+  std::int64_t offset_us = 0;  ///< worker-minus-dispatcher clock offset
+  obs::MetricsShard metrics;   ///< the job's metrics delta
+  std::vector<obs::TraceEvent> spans;  ///< ts already offset-corrected
+};
+
+/// Runs one job against one worker; returns the shard payload via *out and
+/// the job's obs capture via *obs_out.  The send/receive timestamps around
+/// the exchange are the t0/t3 of the NTP-style offset estimate (see
+/// trace_merge.hpp); the worker supplies t1/t2 inside the reply.
 bool dispatch_one(const net::Endpoint& ep, const net::JobRequest& job,
-                  double job_timeout_s, std::string* out,
-                  std::string* error) {
+                  double job_timeout_s, std::string* out, std::string* error,
+                  JobObsCapture* obs_out) {
   try {
     obs::ScopedSpan span("simd.net.job");
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
     net::Socket sock =
         net::connect_to(ep, std::min(10.0, job_timeout_s));
+    const std::int64_t t0 = recorder.now_us();
     net::send_frame(sock, net::write_job_json(job), 30.0);
     const std::string reply = net::recv_frame(sock, job_timeout_s);
+    const std::int64_t t3 = recorder.now_us();
     const net::JobResult result = net::parse_job_result(reply);
     if (!result.ok) {
       *error = ep.str() + ": " + result.error;
       return false;
+    }
+    if (result.has_obs) {
+      obs_out->has = true;
+      obs_out->offset_us = obs::estimate_clock_offset_us(
+          t0, result.obs.recv_us, result.obs.send_us, t3);
+      obs_out->metrics = result.obs.metrics;
+      obs_out->spans = result.obs.spans;
+      for (obs::TraceEvent& e : obs_out->spans) e.ts_us -= obs_out->offset_us;
     }
     *out = result.shard_json;
     return true;
@@ -391,16 +419,26 @@ void worker_thread(const net::Endpoint& ep, std::size_t worker_index,
     job.shard_count = opt.shards;
     job.env = std::move(env);
     job.timeout_s = opt.job_timeout_s;
+    job.attempt = attempt;
     const double start = monotonic_s();
     std::string payload;
     std::string error;
+    JobObsCapture capture;
     const bool ok =
-        dispatch_one(ep, job, opt.job_timeout_s, &payload, &error);
+        dispatch_one(ep, job, opt.job_timeout_s, &payload, &error, &capture);
     env = std::move(job.env);  // reused across this thread's jobs
     const double wall_ms = (monotonic_s() - start) * 1e3;
     dispatch->observe("simd.net.job_wall_ms", wall_ms);
     dispatch->observe(wtag + ".wall_ms", wall_ms);
     dispatch->add("simd.net.jobs_dispatched");
+    if (capture.has) {
+      // The worker's per-job metrics delta joins the dispatch registry —
+      // never the global one, which must stay diff-identical to a
+      // single-process run.
+      dispatch->merge(capture.metrics);
+      dispatch->gauge(wtag + ".clock_offset_us",
+                      static_cast<double>(capture.offset_us));
+    }
 
     std::unique_lock<std::mutex> lk(st->mu);
     if (ok) {
@@ -409,6 +447,18 @@ void worker_thread(const net::Endpoint& ep, std::size_t worker_index,
       consecutive_failures = 0;
       dispatch->add("simd.net.jobs_ok");
       dispatch->add(wtag + ".ok");
+      if (capture.has) {
+        st->worker_spans[worker_index].insert(
+            st->worker_spans[worker_index].end(), capture.spans.begin(),
+            capture.spans.end());
+      }
+      obs::log_info("job.ok",
+                    {{"shard", static_cast<std::uint64_t>(shard)},
+                     {"worker", ep.str()},
+                     {"attempt", attempt},
+                     {"wall_ms", wall_ms},
+                     {"clock_offset_us",
+                      static_cast<std::int64_t>(capture.offset_us)}});
       if (!opt.quiet) {
         std::printf("[shard %zu/%zu done on %s in %.0f ms]\n", shard,
                     opt.shards, ep.str().c_str(), wall_ms);
@@ -417,6 +467,11 @@ void worker_thread(const net::Endpoint& ep, std::size_t worker_index,
       dispatch->add("simd.net.jobs_failed");
       dispatch->add(wtag + ".fail");
       ++consecutive_failures;
+      obs::log_warn("job.fail",
+                    {{"shard", static_cast<std::uint64_t>(shard)},
+                     {"worker", ep.str()},
+                     {"attempt", attempt},
+                     {"error", error}});
       std::fprintf(stderr,
                    "cts_simd: shard %zu attempt %d failed on %s: %s\n",
                    shard, attempt, ep.str().c_str(), error.c_str());
@@ -433,6 +488,9 @@ void worker_thread(const net::Endpoint& ep, std::size_t worker_index,
     st->cv.notify_all();
     if (worker_down) {
       dispatch->add("simd.net.workers_down");
+      obs::log_error("worker.down",
+                     {{"worker", ep.str()},
+                      {"consecutive_failures", consecutive_failures}});
       std::fprintf(stderr,
                    "cts_simd: worker %s down after %d consecutive "
                    "failures\n",
@@ -448,6 +506,15 @@ int run_networked(const NetRunOptions& opt) {
   const bench::BenchSpec& spec = bench::spec(opt.bench_id);
   cu::make_dirs(opt.out_dir);
   if (!opt.trace_path.empty()) obs::TraceRecorder::global().enable();
+  std::string worker_list;
+  for (const net::Endpoint& ep : opt.workers) {
+    if (!worker_list.empty()) worker_list += ",";
+    worker_list += ep.str();
+  }
+  obs::log_info("run.start",
+                {{"bench", opt.bench_id},
+                 {"shards", static_cast<std::uint64_t>(opt.shards)},
+                 {"workers", worker_list}});
 
   // Forward this process's REPRO_* scale inside the job so every worker —
   // and a local fallback child, which inherits the environment directly —
@@ -473,6 +540,7 @@ int run_networked(const NetRunOptions& opt) {
   st.attempts.assign(opt.shards, 0);
   st.last_failed_on.assign(opt.shards, -1);
   st.payloads.assign(opt.shards, std::string());
+  st.worker_spans.assign(opt.workers.size(), {});
   st.live_workers = opt.workers.size();
   for (std::size_t i = 0; i < opt.shards; ++i) st.queue.push_back(i);
 
@@ -522,6 +590,8 @@ int run_networked(const NetRunOptions& opt) {
     }
     dispatch.add("simd.net.local_fallback_shards",
                  static_cast<std::uint64_t>(local.size()));
+    obs::log_warn("fallback",
+                  {{"shards", static_cast<std::uint64_t>(local.size())}});
     if (!opt.quiet) {
       std::printf("[falling back to local fork/exec for %zu shard(s)]\n",
                   local.size());
@@ -542,6 +612,20 @@ int run_networked(const NetRunOptions& opt) {
       const double remaining = std::max(0.0, deadline - monotonic_s());
       const cu::WaitOutcome outcome = cu::wait_child(pids[i], remaining);
       if (!outcome.ok()) {
+        if (outcome.kind == cu::WaitOutcome::Kind::kTimeout ||
+            outcome.kind == cu::WaitOutcome::Kind::kSignaled) {
+          // Flight recorder: everything the dispatcher logged (any level)
+          // right up to the kill, for the post-mortem.
+          const std::string flight_path =
+              opt.out_dir + "/fallback_flight.jsonl";
+          if (obs::EventLog::global().dump_ring_to(flight_path)) {
+            obs::log_error("fallback.flight_recorder",
+                           {{"shard",
+                             static_cast<std::uint64_t>(local[i])},
+                            {"path", flight_path},
+                            {"outcome", outcome.describe()}});
+          }
+        }
         std::fprintf(stderr, "cts_simd: local fallback shard %zu %s (see "
                              "%s)\n",
                      local[i], outcome.describe().c_str(), logs[i].c_str());
@@ -558,11 +642,6 @@ int run_networked(const NetRunOptions& opt) {
     report.set("tool", "cts_simd");
     report.set("mode", "workers");
     report.set("bench", opt.bench_id);
-    std::string worker_list;
-    for (const net::Endpoint& ep : opt.workers) {
-      if (!worker_list.empty()) worker_list += ",";
-      worker_list += ep.str();
-    }
     report.set("workers", worker_list);
     report.set("shards", static_cast<std::uint64_t>(opt.shards));
     report.set("retries", static_cast<std::int64_t>(opt.retries));
@@ -577,11 +656,35 @@ int run_networked(const NetRunOptions& opt) {
     }
   }
   if (!opt.trace_path.empty()) {
-    if (!obs::TraceRecorder::global().write(opt.trace_path)) {
+    // One merged Chrome trace: the dispatcher's own spans in lane pid 1,
+    // then one lane per worker with that worker's job spans, already
+    // clock-corrected onto the dispatcher timeline (per-job NTP offsets
+    // were applied at receive time, so every lane's offset here is 0).
+    std::vector<obs::ProcessTrace> lanes;
+    lanes.push_back(
+        {"cts_simd dispatcher", 1, 0, obs::TraceRecorder::global().events()});
+    for (std::size_t w = 0; w < opt.workers.size(); ++w) {
+      std::vector<obs::TraceEvent> spans;
+      {
+        std::lock_guard<std::mutex> lk(st.mu);
+        spans = st.worker_spans[w];
+      }
+      lanes.push_back({"worker " + opt.workers[w].str(),
+                       static_cast<int>(2 + w), 0, std::move(spans)});
+    }
+    if (!obs::write_merged_trace(opt.trace_path, lanes)) {
       std::fprintf(stderr, "cts_simd: could not write trace to %s\n",
                    opt.trace_path.c_str());
+    } else if (!opt.quiet) {
+      std::printf("[merged trace (%zu lane(s)) written to %s]\n",
+                  lanes.size(), opt.trace_path.c_str());
     }
   }
+  obs::log_info("run.done",
+                {{"bench", opt.bench_id},
+                 {"rc", rc},
+                 {"fallback_shards",
+                  static_cast<std::uint64_t>(local.size())}});
 
   if (rc == 0 && !opt.keep_shards) {
     for (const std::string& path : shard_paths) ::unlink(path.c_str());
@@ -728,6 +831,13 @@ int main(int argc, char** argv) {
     }
     flags.warn_unknown(std::cerr, cu::cli::flag_names(cu::cli::kSimdFlags));
     const bool quiet = flags.get_bool("quiet", false);
+
+    // Structured events are opt-in for the orchestrator: --log appends
+    // cts.events.v1 JSONL (stdout stays the human-facing progress channel).
+    const std::string log_path = flags.get_string("log", "");
+    if (!log_path.empty()) obs::EventLog::global().open(log_path);
+    obs::EventLog::global().set_min_level(
+        obs::parse_log_level(flags.get_string("log-level", "info")));
     const std::vector<std::string> args = positionals(argc, argv);
     if (args.empty()) {
       usage();
