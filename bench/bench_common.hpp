@@ -12,7 +12,9 @@
 // timeline), --metrics=<path> (JSON run report: config echo + all registry
 // metrics), --perf=<path> (cts.perf.v1 report: getrusage, hardware
 // counters when permitted, per-phase span self-time table — the file
-// tools/cts_benchd aggregates into BENCH_*.json), --quiet (suppress the
+// tools/cts_benchd aggregates into BENCH_*.json), --profile=<path>
+// (cts.profile.v1 span-stack sampling profile; --profile-folded,
+// --profile-hz and --profile-backend tune it), --quiet (suppress the
 // stderr progress line; CTS_QUIET=1 equivalent) and --help, via the
 // ObsGuard each main() constructs right after flag parsing.
 
@@ -31,6 +33,7 @@
 #include "bench_suite.hpp"
 #include "cts/fit/model_zoo.hpp"
 #include "cts/obs/perf.hpp"
+#include "cts/obs/profiler.hpp"
 #include "cts/obs/progress.hpp"
 #include "cts/obs/run_report.hpp"
 #include "cts/obs/span_stats.hpp"
@@ -153,6 +156,26 @@ class ObsGuard {
       counters_ = std::make_unique<cts::obs::PerfCounterGroup>();
       counters_->start();
     }
+    if (flags_.has("profile") || flags_.has("profile-folded")) {
+      if (flags_.has("profile")) {
+        profile_path_ =
+            flags_.get_string("profile", run_id_ + "_profile.json");
+      }
+      if (flags_.has("profile-folded")) {
+        profile_folded_path_ =
+            flags_.get_string("profile-folded", run_id_ + "_profile.folded");
+      }
+      cts::obs::Profiler::Options popts;
+      popts.hz = static_cast<int>(flags_.get_int("profile-hz", 97));
+      popts.backend = flags_.get_string("profile-backend", "thread");
+      try {
+        cts::obs::Profiler::global().start(popts);
+      } catch (const cts::util::InvalidArgument& e) {
+        std::fprintf(stderr, "%s: --profile: %s\n", run_id_.c_str(),
+                     e.what());
+        std::exit(2);
+      }
+    }
     main_start_us_ = cts::obs::TraceRecorder::global().now_us();
   }
 
@@ -260,6 +283,29 @@ class ObsGuard {
                     perf_path_.c_str());
       }
     }
+    if (!profile_path_.empty() || !profile_folded_path_.empty()) {
+      cts::obs::Profiler& prof = cts::obs::Profiler::global();
+      prof.stop();
+      if (!profile_path_.empty()) {
+        if (prof.write(profile_path_)) {
+          std::printf("[profile written to %s (%llu samples)]\n",
+                      profile_path_.c_str(),
+                      static_cast<unsigned long long>(prof.sample_count()));
+        } else {
+          std::printf("[warning: could not write profile to %s]\n",
+                      profile_path_.c_str());
+        }
+      }
+      if (!profile_folded_path_.empty()) {
+        if (prof.write_folded_file(profile_folded_path_)) {
+          std::printf("[folded profile written to %s]\n",
+                      profile_folded_path_.c_str());
+        } else {
+          std::printf("[warning: could not write folded profile to %s]\n",
+                      profile_folded_path_.c_str());
+        }
+      }
+    }
   }
 
   /// The env-resolved scale the simulation benches run at, echoed into the
@@ -274,6 +320,8 @@ class ObsGuard {
   std::string metrics_path_;
   std::string perf_path_;
   std::string shard_path_;
+  std::string profile_path_;
+  std::string profile_folded_path_;
   std::int64_t main_start_us_ = 0;
   std::optional<cts::obs::ResourceProbe> probe_;
   std::unique_ptr<cts::obs::PerfCounterGroup> counters_;

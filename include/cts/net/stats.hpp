@@ -4,7 +4,12 @@
 //
 // Request (client -> cts_shardd):
 //
-//   {"schema":"cts.statsreq.v1"}
+//   {"schema":"cts.statsreq.v1"}                          // cts.stats.v1 JSON
+//   {"schema":"cts.statsreq.v1","format":"openmetrics"}   // OpenMetrics text
+//
+// With format "openmetrics" the reply frame is OpenMetrics 1.0 text (see
+// cts/obs/expfmt.hpp) instead of JSON, so a Prometheus-family scraper can
+// sit directly on the job port.  Omitted format means "json".
 //
 // Reply (cts_shardd -> client):
 //
@@ -52,11 +57,17 @@ struct WorkerStats {
   std::vector<obs::SpanAgg> spans;   ///< span self-time table
 };
 
-std::string write_stats_request_json();
+/// Reply encoding a stats request asks for.
+enum class StatsFormat {
+  kJson,         ///< cts.stats.v1 JSON (default)
+  kOpenMetrics,  ///< OpenMetrics 1.0 text
+};
 
-/// Validates a cts.statsreq.v1 document; throws InvalidArgument on a wrong
-/// schema tag.
-void parse_stats_request(const std::string& text);
+std::string write_stats_request_json(StatsFormat format = StatsFormat::kJson);
+
+/// Validates a cts.statsreq.v1 document and returns the requested reply
+/// format; throws InvalidArgument on a wrong schema tag or unknown format.
+StatsFormat parse_stats_request(const std::string& text);
 
 std::string write_stats_json(const WorkerStats& stats);
 
@@ -72,5 +83,9 @@ WorkerStats query_stats(const Endpoint& ep, double timeout_s);
 /// (for tools that re-emit the schema-valid document verbatim).
 WorkerStats query_stats(const Endpoint& ep, double timeout_s,
                         std::string* raw_reply);
+
+/// One-call OpenMetrics scrape: sends a format:"openmetrics" stats request
+/// and returns the reply text verbatim (exposition ends with "# EOF").
+std::string query_stats_openmetrics(const Endpoint& ep, double timeout_s);
 
 }  // namespace cts::net

@@ -42,7 +42,8 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// "debug" / "info" / "warn" / "error".
 const char* level_name(LogLevel level) noexcept;
 
-/// Parses a level name; throws util::InvalidArgument on anything else.
+/// Parses a level name, case-insensitively ("INFO" == "info"); throws
+/// util::InvalidArgument on anything else, naming the accepted spellings.
 LogLevel parse_log_level(const std::string& name);
 
 /// One typed key/value pair of an event's `fields` object.

@@ -93,6 +93,65 @@ class HistogramCell {
   util::MomentAccumulator stats_;
 };
 
+/// Log-bucketed latency histogram with percentile estimation (the
+/// DDSketch bucket scheme): an observation v > 0 lands in bucket
+/// ceil(log(v) / log(gamma)), so bucket i covers (gamma^(i-1), gamma^i]
+/// and the bucket's representative value 2*gamma^i/(gamma+1) is within
+/// `relative_accuracy` of every value in the bucket.  With the default
+/// accuracy of 2%, percentile(q) is guaranteed within 2% relative error
+/// of the exact sample quantile for any distribution — exactly the
+/// property fixed-edge HistogramCell lacks for tail (p99/p999) latency.
+///
+/// Merging is lossless like HistogramCell: bucket counts are integer
+/// additions (requires equal gamma) and the Welford summary merges with
+/// the same parallel update, so snapshot/merge across processes equals a
+/// single-process run bit for bit.  Observations <= 0 are counted in a
+/// dedicated zero bucket (they have no logarithm) and enter percentiles
+/// as 0.
+class LogHistogramCell {
+ public:
+  /// Default relative accuracy of the percentile estimates (2%).
+  static constexpr double kDefaultRelativeAccuracy = 0.02;
+
+  LogHistogramCell() : LogHistogramCell(kDefaultRelativeAccuracy) {}
+  explicit LogHistogramCell(double relative_accuracy);
+
+  void observe(double v) noexcept;
+
+  /// Merges another log histogram; throws util::InvalidArgument when the
+  /// relative accuracies (bucket bases) differ.
+  void merge(const LogHistogramCell& other);
+
+  /// Estimated q-quantile (q in [0, 1]) of everything observed, within
+  /// relative_accuracy() of the exact sample quantile
+  /// sorted[ceil(q * count) - 1].  Returns 0 when empty.
+  double percentile(double q) const noexcept;
+
+  double gamma() const noexcept { return gamma_; }
+  double relative_accuracy() const noexcept {
+    return (gamma_ - 1.0) / (gamma_ + 1.0);
+  }
+  std::uint64_t zero_count() const noexcept { return zero_count_; }
+  const std::map<std::int32_t, std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+  const util::MomentAccumulator& stats() const noexcept { return stats_; }
+
+  /// Rebuilds a log histogram from serialized state; throws
+  /// InvalidArgument on an invalid gamma.
+  static LogHistogramCell from_state(
+      double gamma, std::uint64_t zero_count,
+      std::map<std::int32_t, std::uint64_t> buckets,
+      util::MomentAccumulator stats);
+
+ private:
+  double gamma_ = 0.0;
+  double inv_log_gamma_ = 0.0;
+  std::uint64_t zero_count_ = 0;                   ///< observations <= 0
+  std::map<std::int32_t, std::uint64_t> buckets_;  ///< index -> count
+  util::MomentAccumulator stats_;
+};
+
 /// Lock-free (because thread-local) bundle of metrics, merged into a
 /// MetricsRegistry in one locked operation.
 class MetricsShard {
@@ -112,6 +171,11 @@ class MetricsShard {
   void observe(const std::string& name, double v,
                const std::vector<double>& edges = {});
 
+  /// Records `v` into log-bucketed histogram `name` (created with the
+  /// default 2% relative accuracy on first observation).  Use for latency
+  /// metrics whose tail percentiles (p99/p999) matter.
+  void observe_log(const std::string& name, double v);
+
   /// Folds `other` into this shard.
   void merge(const MetricsShard& other);
 
@@ -121,6 +185,7 @@ class MetricsShard {
   void restore_sum(const std::string& name, util::CompensatedSum sum);
   void restore_gauge(const std::string& name, GaugeCell cell);
   void restore_histogram(const std::string& name, HistogramCell cell);
+  void restore_log_histogram(const std::string& name, LogHistogramCell cell);
 
   bool empty() const noexcept;
 
@@ -136,12 +201,17 @@ class MetricsShard {
   const std::map<std::string, HistogramCell>& histograms() const noexcept {
     return histograms_;
   }
+  const std::map<std::string, LogHistogramCell>& log_histograms()
+      const noexcept {
+    return log_histograms_;
+  }
 
  private:
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, util::CompensatedSum> sums_;
   std::map<std::string, GaugeCell> gauges_;
   std::map<std::string, HistogramCell> histograms_;
+  std::map<std::string, LogHistogramCell> log_histograms_;
 };
 
 /// Read-only copy of one histogram's state, for reporting.
@@ -173,6 +243,7 @@ class MetricsRegistry {
   void gauge(const std::string& name, double v, GaugeMode mode = GaugeMode::kSet);
   void observe(const std::string& name, double v,
                const std::vector<double>& edges = {});
+  void observe_log(const std::string& name, double v);
 
   /// Merges a worker shard under one lock.
   void merge(const MetricsShard& shard);
@@ -189,8 +260,15 @@ class MetricsRegistry {
   /// Copies histogram `name` into `out`; false when absent.
   bool histogram(const std::string& name, HistogramSnapshot* out) const;
 
+  /// Copies log-bucketed histogram `name` into `out` (full cell, so the
+  /// caller can take percentiles); false when absent.
+  bool log_histogram(const std::string& name, LogHistogramCell* out) const;
+
   /// Emits the full registry as one JSON object:
-  ///   {"counters":{...},"sums":{...},"gauges":{...},"histograms":{...}}
+  ///   {"counters":{...},"sums":{...},"gauges":{...},"histograms":{...},
+  ///    "log_histograms":{...}}
+  /// (the log_histograms section is omitted when empty, so reports from
+  /// code paths that never record one are unchanged).
   void write_json(std::ostream& os) const;
 
   /// Clears all metrics (tests; between independent bench phases).
@@ -209,7 +287,14 @@ class MetricsRegistry {
 ///    "sums":{name:{"value":V,"compensation":C}},
 ///    "gauges":{name:{"value":V,"mode":"set"|"max"}},
 ///    "histograms":{name:{"edges":[..],"buckets":[..],
-///                        "count":N,"mean":M,"m2":S,"min":L,"max":H}}}
+///                        "count":N,"mean":M,"m2":S,"min":L,"max":H}},
+///    "log_histograms":{name:{"gamma":G,"zero":Z,
+///                            "indexes":[..],"counts":[..],
+///                            "count":N,"mean":M,"m2":S,"min":L,"max":H}}}
+///
+/// The log_histograms section is omitted when empty so documents produced
+/// by older writers and by code paths without latency histograms are
+/// byte-identical to before; the parser tolerates its absence.
 ///
 /// A snapshot written on one process and imported on another merges
 /// exactly as if the two registries had lived in one process (doubles are

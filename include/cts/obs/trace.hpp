@@ -73,7 +73,10 @@ class TraceRecorder {
 };
 
 /// RAII span: captures the clock on construction when the global recorder
-/// is enabled, records one TraceEvent on destruction.  Never throws.
+/// is enabled, records one TraceEvent on destruction.  While the sampling
+/// profiler (cts/obs/profiler.hpp) is armed, also pushes the span name
+/// onto the per-thread span stack so profiles attribute samples to the
+/// active span chain — with or without tracing.  Never throws.
 class ScopedSpan {
  public:
   explicit ScopedSpan(std::string name) noexcept;
@@ -85,6 +88,7 @@ class ScopedSpan {
  private:
   std::string name_;
   std::int64_t start_us_ = -1;  ///< -1: recorder was disabled at entry
+  bool pushed_ = false;         ///< frame pushed onto the profiler stack
 };
 
 }  // namespace cts::obs

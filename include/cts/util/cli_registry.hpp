@@ -37,6 +37,14 @@ inline constexpr FlagDoc kBenchSharedFlags[] = {
      "write the JSON run report (config echo + metrics registry)"},
     {"perf", "PATH",
      "write the cts.perf.v1 report (rusage, hw counters, span self-times)"},
+    {"profile", "PATH",
+     "write a cts.profile.v1 span-stack sampling profile (default "
+     "<run_id>_profile.json)"},
+    {"profile-folded", "PATH",
+     "write the profile as collapsed-stack text (flamegraph.pl ready)"},
+    {"profile-hz", "N", "profiler sampling rate in Hz (default 97)"},
+    {"profile-backend", "NAME",
+     "profiler backend: thread (wall clock) or itimer (SIGPROF, CPU time)"},
     {"shard", "I/N",
      "run only replication shard I of N (REPRO_SHARD equivalent)"},
     {"shard-out", "PATH",
@@ -140,6 +148,13 @@ inline constexpr FlagDoc kSimdFlags[] = {
     {"trace", "PATH",
      "write a merged Chrome-trace timeline: dispatcher spans plus one "
      "clock-corrected lane per worker (from the jobs' obs captures)"},
+    {"profile", "PATH",
+     "write the dispatcher's cts.profile.v1 span-stack sampling profile"},
+    {"profile-folded", "PATH",
+     "write the dispatcher profile as collapsed-stack text"},
+    {"profile-hz", "N", "profiler sampling rate in Hz (default 97)"},
+    {"profile-backend", "NAME",
+     "profiler backend: thread (wall clock) or itimer (SIGPROF, CPU time)"},
     {"log", "PATH",
      "append cts.events.v1 JSONL events (dispatch lifecycle) to PATH"},
     {"log-level", "LEVEL",
@@ -161,6 +176,13 @@ inline constexpr FlagDoc kShardDFlags[] = {
     {"fault-exit-after", "N",
      "fault-injection hook: die abruptly (no reply) on the job after N "
      "served — simulates a worker killed mid-shard (default off)"},
+    {"profile", "PATH",
+     "write a cts.profile.v1 span-stack sampling profile on clean exit"},
+    {"profile-folded", "PATH",
+     "write the profile as collapsed-stack text on clean exit"},
+    {"profile-hz", "N", "profiler sampling rate in Hz (default 97)"},
+    {"profile-backend", "NAME",
+     "profiler backend: thread (wall clock) or itimer (SIGPROF, CPU time)"},
     {"log", "PATH",
      "append cts.events.v1 JSONL events to PATH instead of stderr"},
     {"log-level", "LEVEL",
@@ -176,13 +198,22 @@ inline constexpr FlagDoc kObstopFlags[] = {
     {"json", "",
      "one-shot: print each worker's raw cts.stats.v1 reply (single worker: "
      "the object verbatim; several: a JSON array) and exit"},
+    {"openmetrics", "",
+     "one-shot: print one worker's OpenMetrics 1.0 exposition verbatim and "
+     "exit (exactly one worker)"},
     {"interval", "SECS", "poll period for the live table (default 2)"},
     {"iterations", "N",
      "stop the live table after N polls (default 0 = until interrupted)"},
     {"timeout", "SECS", "per-worker connect/reply deadline (default 5)"},
+    {"slo", "METRIC:pQ:MS,...",
+     "latency objectives against exported log histograms (e.g. "
+     "shardd.job_wall_ms:p99:250); breaching rows turn red"},
+    {"check", "",
+     "one poll, then gate: exit 3 when any --slo objective is breached"},
     {"validate", "",
-     "only validate the given files: .jsonl as cts.events.v1 lines, .json "
-     "as one strict RFC 8259 document (trace or stats)"},
+     "only validate the given files: .jsonl as cts.events.v1 lines, "
+     ".om/.prom/.openmetrics as OpenMetrics 1.0 text, anything else as one "
+     "strict RFC 8259 document (trace or stats)"},
     {"quiet", "", "suppress per-worker error lines on stderr"},
     {"help", "", "print usage and exit"},
 };

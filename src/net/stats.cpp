@@ -10,22 +10,34 @@ namespace cts::net {
 namespace obs = cts::obs;
 namespace cu = cts::util;
 
-std::string write_stats_request_json() {
+std::string write_stats_request_json(StatsFormat format) {
   std::ostringstream os;
   obs::JsonWriter w(os);
   w.begin_object();
   w.key("schema").value(kStatsRequestSchema);
+  if (format == StatsFormat::kOpenMetrics) {
+    w.key("format").value("openmetrics");
+  }
   w.end_object();
   return os.str();
 }
 
-void parse_stats_request(const std::string& text) {
+StatsFormat parse_stats_request(const std::string& text) {
   const obs::JsonValue doc = obs::json_parse(text);
   const obs::JsonValue* schema = doc.find("schema");
   cu::require(schema != nullptr && schema->is_string() &&
                   schema->as_string() == kStatsRequestSchema,
               std::string("stats request: expected schema \"") +
                   kStatsRequestSchema + "\"");
+  const obs::JsonValue* format = doc.find("format");
+  if (format == nullptr) return StatsFormat::kJson;
+  cu::require(format->is_string(), "stats request: format must be a string");
+  const std::string& name = format->as_string();
+  if (name == "json") return StatsFormat::kJson;
+  if (name == "openmetrics") return StatsFormat::kOpenMetrics;
+  cu::require(false, "stats request: format must be json|openmetrics, got '" +
+                         name + "'");
+  return StatsFormat::kJson;  // unreachable
 }
 
 std::string write_stats_json(const WorkerStats& stats) {
@@ -116,6 +128,13 @@ WorkerStats query_stats(const Endpoint& ep, double timeout_s,
   WorkerStats stats = parse_stats(reply);
   if (raw_reply != nullptr) *raw_reply = reply;
   return stats;
+}
+
+std::string query_stats_openmetrics(const Endpoint& ep, double timeout_s) {
+  Socket sock = connect_to(ep, timeout_s);
+  send_frame(sock, write_stats_request_json(StatsFormat::kOpenMetrics),
+             timeout_s);
+  return recv_frame(sock, timeout_s);
 }
 
 }  // namespace cts::net

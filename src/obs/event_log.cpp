@@ -36,12 +36,21 @@ const char* level_name(LogLevel level) noexcept {
 }
 
 LogLevel parse_log_level(const std::string& name) {
-  if (name == "debug") return LogLevel::kDebug;
-  if (name == "info") return LogLevel::kInfo;
-  if (name == "warn") return LogLevel::kWarn;
-  if (name == "error") return LogLevel::kError;
-  throw util::InvalidArgument("log level must be debug|info|warn|error, got " +
-                              name);
+  // Case-insensitive: --log-level=INFO and --log-level=Info are the
+  // spellings other toolchains emit, and rejecting them cost real runs.
+  std::string folded;
+  folded.reserve(name.size());
+  for (const char ch : name) {
+    folded.push_back(ch >= 'A' && ch <= 'Z'
+                         ? static_cast<char>(ch - 'A' + 'a')
+                         : ch);
+  }
+  if (folded == "debug") return LogLevel::kDebug;
+  if (folded == "info") return LogLevel::kInfo;
+  if (folded == "warn") return LogLevel::kWarn;
+  if (folded == "error") return LogLevel::kError;
+  throw util::InvalidArgument(
+      "log level must be debug|info|warn|error (any case), got " + name);
 }
 
 EventLog& EventLog::global() {

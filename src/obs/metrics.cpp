@@ -1,6 +1,7 @@
 #include "cts/obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "cts/obs/json.hpp"
 #include "cts/util/error.hpp"
@@ -55,6 +56,80 @@ HistogramCell HistogramCell::from_state(std::vector<double> edges,
 }
 
 // ---------------------------------------------------------------------------
+// LogHistogramCell
+
+LogHistogramCell::LogHistogramCell(double relative_accuracy) {
+  util::require(relative_accuracy > 0.0 && relative_accuracy < 1.0,
+                "LogHistogramCell: relative accuracy must be in (0, 1)");
+  gamma_ = (1.0 + relative_accuracy) / (1.0 - relative_accuracy);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+}
+
+void LogHistogramCell::observe(double v) noexcept {
+  if (v > 0.0) {
+    // ceil(log_gamma v); the cast truncates toward zero, so nudge upward
+    // for non-integer results.  Exact powers of gamma stay in their own
+    // bucket (upper-inclusive, mirroring HistogramCell's "le" edges).
+    const double raw = std::log(v) * inv_log_gamma_;
+    const double up = std::ceil(raw);
+    buckets_[static_cast<std::int32_t>(up)] += 1;
+  } else {
+    ++zero_count_;
+  }
+  stats_.add(v);
+}
+
+void LogHistogramCell::merge(const LogHistogramCell& other) {
+  if (other.stats_.count() == 0) return;
+  util::require(gamma_ == other.gamma_,
+                "LogHistogramCell: cannot merge histograms with different "
+                "bucket bases (relative accuracy)");
+  zero_count_ += other.zero_count_;
+  for (const auto& [index, count] : other.buckets_) buckets_[index] += count;
+  stats_.merge(other.stats_);
+}
+
+double LogHistogramCell::percentile(double q) const noexcept {
+  const std::uint64_t n = stats_.count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Matching-rank convention: the estimate targets sorted[ceil(q*n) - 1]
+  // (0-based), the same rank the unit tests compute exactly.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  if (rank <= zero_count_) return 0.0;
+  std::uint64_t seen = zero_count_;
+  for (const auto& [index, count] : buckets_) {
+    seen += count;
+    if (seen >= rank) {
+      // Representative value of bucket (gamma^(i-1), gamma^i]: the midpoint
+      // 2*gamma^i/(gamma+1) is within (gamma-1)/(gamma+1) = alpha of every
+      // value in the bucket.
+      return 2.0 * std::pow(gamma_, static_cast<double>(index)) /
+             (gamma_ + 1.0);
+    }
+  }
+  return stats_.max();  // unreachable when counts are consistent
+}
+
+LogHistogramCell LogHistogramCell::from_state(
+    double gamma, std::uint64_t zero_count,
+    std::map<std::int32_t, std::uint64_t> buckets,
+    util::MomentAccumulator stats) {
+  util::require(gamma > 1.0, "LogHistogramCell: snapshot gamma must be > 1");
+  LogHistogramCell cell;
+  cell.gamma_ = gamma;
+  cell.inv_log_gamma_ = 1.0 / std::log(gamma);
+  cell.zero_count_ = zero_count;
+  cell.buckets_ = std::move(buckets);
+  cell.stats_ = stats;
+  return cell;
+}
+
+// ---------------------------------------------------------------------------
 // MetricsShard
 
 void MetricsShard::add(const std::string& name, std::uint64_t delta) {
@@ -84,11 +159,18 @@ void MetricsShard::observe(const std::string& name, double v,
   it->second.observe(v);
 }
 
+void MetricsShard::observe_log(const std::string& name, double v) {
+  log_histograms_[name].observe(v);
+}
+
 void MetricsShard::merge(const MetricsShard& other) {
   for (const auto& [name, delta] : other.counters_) counters_[name] += delta;
   for (const auto& [name, s] : other.sums_) sums_[name].merge(s);
   for (const auto& [name, g] : other.gauges_) gauges_[name].merge(g);
   for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
+  for (const auto& [name, h] : other.log_histograms_) {
+    log_histograms_[name].merge(h);
+  }
 }
 
 void MetricsShard::restore_sum(const std::string& name,
@@ -105,9 +187,14 @@ void MetricsShard::restore_histogram(const std::string& name,
   histograms_.insert_or_assign(name, std::move(cell));
 }
 
+void MetricsShard::restore_log_histogram(const std::string& name,
+                                         LogHistogramCell cell) {
+  log_histograms_.insert_or_assign(name, std::move(cell));
+}
+
 bool MetricsShard::empty() const noexcept {
   return counters_.empty() && sums_.empty() && gauges_.empty() &&
-         histograms_.empty();
+         histograms_.empty() && log_histograms_.empty();
 }
 
 // ---------------------------------------------------------------------------
@@ -137,6 +224,11 @@ void MetricsRegistry::observe(const std::string& name, double v,
                               const std::vector<double>& edges) {
   const std::lock_guard<std::mutex> lock(mu_);
   data_.observe(name, v, edges);
+}
+
+void MetricsRegistry::observe_log(const std::string& name, double v) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  data_.observe_log(name, v);
 }
 
 void MetricsRegistry::merge(const MetricsShard& shard) {
@@ -192,6 +284,15 @@ bool MetricsRegistry::histogram(const std::string& name,
   return true;
 }
 
+bool MetricsRegistry::log_histogram(const std::string& name,
+                                    LogHistogramCell* out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = data_.log_histograms().find(name);
+  if (it == data_.log_histograms().end()) return false;
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
 void MetricsRegistry::write_json(std::ostream& os) const {
   const std::lock_guard<std::mutex> lock(mu_);
   JsonWriter w(os);
@@ -227,6 +328,24 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     w.end_object();
   }
   w.end_object();
+
+  if (!data_.log_histograms().empty()) {
+    w.key("log_histograms").begin_object();
+    for (const auto& [name, h] : data_.log_histograms()) {
+      w.key(name).begin_object();
+      const util::MomentAccumulator& st = h.stats();
+      w.key("count").value(st.count());
+      w.key("mean").value(st.count() > 0 ? st.mean() : 0.0);
+      w.key("min").value(st.count() > 0 ? st.min() : 0.0);
+      w.key("max").value(st.count() > 0 ? st.max() : 0.0);
+      w.key("p50").value(h.percentile(0.50));
+      w.key("p95").value(h.percentile(0.95));
+      w.key("p99").value(h.percentile(0.99));
+      w.key("p999").value(h.percentile(0.999));
+      w.end_object();
+    }
+    w.end_object();
+  }
 
   w.end_object();
 }
@@ -285,6 +404,38 @@ void write_metrics_snapshot(JsonWriter& w, const MetricsShard& shard) {
   }
   w.end_object();
 
+  // Omitted when empty: older readers use at("..."), and a snapshot with
+  // no latency histograms must stay byte-identical to the pre-section
+  // format (the merged physics report is diffed bit for bit).
+  if (!shard.log_histograms().empty()) {
+    w.key("log_histograms").begin_object();
+    for (const auto& [name, h] : shard.log_histograms()) {
+      const util::MomentAccumulator& st = h.stats();
+      w.key(name).begin_object();
+      w.key("gamma").value(h.gamma());
+      w.key("zero").value(h.zero_count());
+      w.key("indexes").begin_array();
+      for (const auto& [index, count] : h.buckets()) {
+        (void)count;
+        w.value(static_cast<std::int64_t>(index));
+      }
+      w.end_array();
+      w.key("counts").begin_array();
+      for (const auto& [index, count] : h.buckets()) {
+        (void)index;
+        w.value(count);
+      }
+      w.end_array();
+      w.key("count").value(st.count());
+      w.key("mean").value(st.count() > 0 ? st.mean() : 0.0);
+      w.key("m2").value(st.count() > 0 ? st.m2() : 0.0);
+      w.key("min").value(st.count() > 0 ? st.min() : 0.0);
+      w.key("max").value(st.count() > 0 ? st.max() : 0.0);
+      w.end_object();
+    }
+    w.end_object();
+  }
+
   w.end_object();
 }
 
@@ -337,6 +488,33 @@ MetricsShard metrics_snapshot_from_json(const JsonValue& v) {
     shard.restore_histogram(
         name, HistogramCell::from_state(std::move(edges), std::move(buckets),
                                         stats));
+  }
+  // Optional section: snapshots written before log histograms existed (or
+  // from registries without any) simply lack it.
+  if (const JsonValue* logs = v.find("log_histograms")) {
+    for (const auto& [name, hist] : logs->members) {
+      const auto& index_items = hist.at("indexes").items;
+      const auto& count_items = hist.at("counts").items;
+      util::require(index_items.size() == count_items.size(),
+                    "metrics snapshot: log histogram indexes/counts length "
+                    "mismatch");
+      std::map<std::int32_t, std::uint64_t> buckets;
+      for (std::size_t i = 0; i < index_items.size(); ++i) {
+        const double raw = index_items[i].as_number();
+        buckets[static_cast<std::int32_t>(raw)] =
+            as_uint(count_items[i], "log histogram bucket");
+      }
+      const util::MomentAccumulator stats =
+          util::MomentAccumulator::from_state(
+              as_uint(hist.at("count"), "log histogram count"),
+              hist.at("mean").as_number(), hist.at("m2").as_number(),
+              hist.at("min").as_number(), hist.at("max").as_number());
+      shard.restore_log_histogram(
+          name, LogHistogramCell::from_state(
+                    hist.at("gamma").as_number(),
+                    as_uint(hist.at("zero"), "log histogram zero count"),
+                    std::move(buckets), stats));
+    }
   }
   return shard;
 }

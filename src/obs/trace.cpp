@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "cts/obs/json.hpp"
+#include "cts/obs/profiler.hpp"
 
 namespace cts::obs {
 
@@ -93,7 +94,16 @@ void TraceRecorder::reset() {
 
 ScopedSpan::ScopedSpan(std::string name) noexcept {
   TraceRecorder& recorder = TraceRecorder::global();
-  if (!recorder.enabled()) return;  // disabled span: one relaxed load, no clock
+  const bool tracing = recorder.enabled();
+  const bool profiling = Profiler::global().armed();
+  if (!tracing && !profiling) return;  // cold span: two relaxed loads only
+  if (profiling) {
+    // push copies the name into a fixed per-thread slot; the profiler
+    // never dereferences this object's storage.
+    profiler_push_frame(name.c_str());
+    pushed_ = true;
+  }
+  if (!tracing) return;
   try {
     name_ = std::move(name);
     start_us_ = recorder.now_us();
@@ -103,6 +113,9 @@ ScopedSpan::ScopedSpan(std::string name) noexcept {
 }
 
 ScopedSpan::~ScopedSpan() {
+  // Pop even when the profiler disarmed mid-span, so stacks stay balanced
+  // across a stop()/start() cycle.
+  if (pushed_) profiler_pop_frame();
   if (start_us_ < 0) return;
   TraceRecorder& recorder = TraceRecorder::global();
   if (!recorder.enabled()) return;  // disabled mid-span: drop it

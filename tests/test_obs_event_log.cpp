@@ -4,10 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "cts/obs/event_log.hpp"
 #include "cts/obs/json.hpp"
@@ -35,6 +37,24 @@ TEST(LogLevel, NamesRoundTrip) {
   EXPECT_EQ(obs::parse_log_level("info"), obs::LogLevel::kInfo);
   EXPECT_THROW(obs::parse_log_level("verbose"), cts::util::InvalidArgument);
   EXPECT_THROW(obs::parse_log_level(""), cts::util::InvalidArgument);
+}
+
+TEST(LogLevel, ParseIsCaseInsensitive) {
+  EXPECT_EQ(obs::parse_log_level("INFO"), obs::LogLevel::kInfo);
+  EXPECT_EQ(obs::parse_log_level("Debug"), obs::LogLevel::kDebug);
+  EXPECT_EQ(obs::parse_log_level("WaRn"), obs::LogLevel::kWarn);
+  EXPECT_EQ(obs::parse_log_level("ERROR"), obs::LogLevel::kError);
+}
+
+TEST(LogLevel, ParseErrorNamesAcceptedSpellings) {
+  try {
+    obs::parse_log_level("loud");
+    FAIL() << "expected InvalidArgument";
+  } catch (const cts::util::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("debug|info|warn|error"), std::string::npos) << what;
+    EXPECT_NE(what.find("loud"), std::string::npos) << what;
+  }
 }
 
 TEST(EventLog, SinkFiltersByLevelButRingKeepsEverything) {
@@ -169,6 +189,66 @@ TEST(EventLog, FileSinkAppendsAndOpenFailureThrows) {
   obs::EventLog bad;
   EXPECT_THROW(bad.open("/nonexistent_dir_cts_test/events.jsonl"),
                cts::util::InvalidArgument);
+}
+
+// The ring buffer is the flight recorder: daemons log from the accept
+// loop, every job thread, and the stats path at once.  Hammer it from
+// several writers (with concurrent ring() readers and a mid-flight
+// capacity change) and require a consistent final state — no lost
+// records, no torn events, capacity respected.  Run under TSan in CI,
+// this is also the data-race check for the EventLog locking.
+TEST(EventLog, RingIsConsistentUnderConcurrentWriters) {
+  obs::EventLog log;
+  log.set_min_level(obs::LogLevel::kError);  // sink stays quiet
+  log.set_ring_capacity(256);
+
+  constexpr int kWriters = 8;
+  constexpr int kEventsPerWriter = 2000;
+  std::atomic<bool> stop_readers{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&log, w] {
+      for (int i = 0; i < kEventsPerWriter; ++i) {
+        log.log(obs::LogLevel::kDebug, "writer." + std::to_string(w),
+                {{"i", i}, {"w", w}});
+      }
+    });
+  }
+  // Concurrent readers: ring() snapshots and one capacity change must not
+  // tear while writers are active.
+  std::thread reader([&log, &stop_readers] {
+    while (!stop_readers.load()) {
+      const std::vector<obs::LogEvent> snapshot = log.ring();
+      EXPECT_LE(snapshot.size(), 256u);
+      for (const obs::LogEvent& e : snapshot) {
+        EXPECT_EQ(e.event.rfind("writer.", 0), 0u) << e.event;
+        ASSERT_EQ(e.fields.size(), 2u);
+      }
+    }
+  });
+  log.set_ring_capacity(256);  // exercised concurrently with writers
+  for (std::thread& t : threads) t.join();
+  stop_readers.store(true);
+  reader.join();
+
+  EXPECT_EQ(log.recorded(),
+            static_cast<std::uint64_t>(kWriters) * kEventsPerWriter);
+  const std::vector<obs::LogEvent> ring = log.ring();
+  ASSERT_EQ(ring.size(), 256u);
+  // Every survivor is a well-formed event from some writer, and the dump
+  // still renders strict JSONL.
+  std::ostringstream os;
+  log.dump_ring(os);
+  std::istringstream in(os.str());
+  std::string line;
+  std::size_t dumped = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string error;
+    ASSERT_TRUE(obs::json_parse_check(line, &error)) << error;
+    ++dumped;
+  }
+  EXPECT_EQ(dumped, 256u);
 }
 
 }  // namespace

@@ -363,6 +363,110 @@ TEST(ShardDE2E, AllWorkersDownFallsBackToLocalExecution) {
   EXPECT_EQ(counters.find("simd.net.jobs_ok"), nullptr);
 }
 
+// The always-on profiling & SLO layer end to end: a loopback run with the
+// profiler armed on both sides must still merge bit-identically to a
+// profiler-off single-process run, the worker must answer latency-SLO
+// queries (pass AND breach) from its log-bucketed histograms, the
+// OpenMetrics exposition must pass the shipped strict validator, and both
+// processes must emit cts.profile.v1 documents on clean exit.
+TEST(ShardDE2E, ProfiledRunWithSloGateEmitsValidArtifacts) {
+  const std::string dir = ::testing::TempDir() + "/shardd_profile";
+  ASSERT_EQ(fresh_dir(dir), 0);
+  const std::string single = reference_metrics(dir);
+
+  // --max-jobs=2: one profiled job now, one later to drain the daemon —
+  // between them the daemon stays alive for the SLO and scrape queries.
+  const std::string worker_profile = dir + "/w1_profile.json";
+  const int p1 = start_worker(
+      dir, "w1", "--max-jobs=2 --profile='" + worker_profile + "'");
+  ASSERT_GT(p1, 0);
+  const std::string worker = "127.0.0.1:" + std::to_string(p1);
+
+  const std::string merged = dir + "/net_metrics.json";
+  const std::string dispatch_profile = dir + "/dispatch_profile.json";
+  const std::string dispatch_folded = dir + "/dispatch.folded";
+  ASSERT_EQ(
+      shell(kScale +
+            ("'" + simd() + "' run " + kBench + " --workers=" + worker +
+             " --shards=1 --out-dir='" + dir + "/net_out' --metrics='" +
+             merged + "' --profile='" + dispatch_profile +
+             "' --profile-folded='" + dispatch_folded + "' --bench-dir='" +
+             CTS_BENCH_BIN_DIR + "' --quiet > '" + dir + "/net.log' 2>&1")),
+      0);
+
+  // Profiling must not perturb the physics: the merged report still diffs
+  // clean against the profiler-off single-process reference.
+  EXPECT_EQ(
+      shell("'" + simd() + "' diff '" + single + "' '" + merged + "' --quiet"),
+      0);
+
+  // SLO gate, pass side: one job has been observed, and its p99 sits far
+  // below a 600 s objective.
+  EXPECT_EQ(shell("'" + obstop() + "' --workers=" + worker +
+                  " --slo=shardd.job_wall_ms:p99:600000 --check --quiet "
+                  "> /dev/null 2>&1"),
+            0);
+  // Breach side: no real job finishes in a microsecond, so --check must
+  // exit 3 (distinct from query failure's 1).
+  EXPECT_EQ(shell("'" + obstop() + "' --workers=" + worker +
+                  " --slo=shardd.job_wall_ms:p50:0.001 --check --quiet "
+                  "> /dev/null 2>&1"),
+            3);
+
+  // The OpenMetrics scrape: non-empty, mentions the job-latency summary
+  // with the worker label, and passes the shipped strict validator.
+  const std::string scrape = dir + "/scrape.om";
+  ASSERT_EQ(shell("'" + obstop() + "' --workers=" + worker +
+                  " --openmetrics > '" + scrape + "' 2>/dev/null"),
+            0);
+  const std::string text = cu::read_text_file(scrape);
+  EXPECT_NE(text.find("# EOF"), std::string::npos);
+  EXPECT_NE(text.find("shardd_job_wall_ms"), std::string::npos);
+  EXPECT_NE(text.find("quantile="), std::string::npos);
+  EXPECT_NE(text.find("worker=\"cts_shardd:" + std::to_string(p1) + "\""),
+            std::string::npos);
+  EXPECT_EQ(shell("'" + obstop() + "' --validate '" + scrape +
+                  "' --quiet > /dev/null 2>&1"),
+            0);
+
+  // Drain the worker's second job so the daemon exits and flushes its
+  // profile.
+  EXPECT_EQ(shell(kScale + ("'" + simd() + "' run " + kBench +
+                            " --workers=" + worker + " --shards=1 --out-dir='" +
+                            dir + "/out2' --metrics='" + dir +
+                            "/net2_metrics.json' --bench-dir='" +
+                            CTS_BENCH_BIN_DIR + "' --quiet > /dev/null 2>&1")),
+            0);
+  std::string profile_text;
+  for (int i = 0; i < 100; ++i) {
+    if (cu::read_text_file(worker_profile, &profile_text, nullptr) &&
+        !profile_text.empty()) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  ASSERT_FALSE(profile_text.empty()) << "worker never wrote its profile";
+
+  // Both profiles are strict-JSON cts.profile.v1 documents with the
+  // sampler having actually ticked.
+  for (const std::string& path : {worker_profile, dispatch_profile}) {
+    const std::string doc_text = cu::read_text_file(path);
+    std::string error;
+    ASSERT_TRUE(obs::json_parse_check(doc_text, &error)) << path << ": "
+                                                         << error;
+    const obs::JsonValue doc = obs::json_parse(doc_text);
+    EXPECT_EQ(doc.at("schema").as_string(), "cts.profile.v1") << path;
+    EXPECT_GT(doc.at("samples").as_number(), 0.0) << path;
+    EXPECT_TRUE(doc.at("stacks").is_array()) << path;
+    EXPECT_EQ(shell("'" + obstop() + "' --validate '" + path +
+                    "' --quiet > /dev/null 2>&1"),
+              0);
+  }
+  // The dispatcher's folded export exists alongside the JSON document.
+  std::string folded_text;
+  EXPECT_TRUE(cu::read_text_file(dispatch_folded, &folded_text, nullptr));
+}
+
 TEST(ShardDE2E, DaemonRejectsAnUnknownBenchId) {
   const std::string dir = ::testing::TempDir() + "/shardd_reject";
   ASSERT_EQ(fresh_dir(dir), 0);

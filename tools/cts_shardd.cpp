@@ -67,6 +67,7 @@
 #include <fstream>
 #include <iostream>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -76,8 +77,10 @@
 #include "cts/net/socket.hpp"
 #include "cts/net/stats.hpp"
 #include "cts/obs/event_log.hpp"
+#include "cts/obs/expfmt.hpp"
 #include "cts/obs/json.hpp"
 #include "cts/obs/metrics.hpp"
+#include "cts/obs/profiler.hpp"
 #include "cts/obs/span_stats.hpp"
 #include "cts/obs/trace.hpp"
 #include "cts/sim/shard.hpp"
@@ -110,6 +113,10 @@ struct Options {
   long long max_jobs = 0;          ///< 0: serve forever
   long long fault_exit_after = -1; ///< <0: disabled
   bool quiet = false;
+  std::string profile_path;        ///< cts.profile.v1 JSON on clean exit
+  std::string profile_folded;      ///< collapsed-stack text on clean exit
+  int profile_hz = 97;
+  std::string profile_backend = "thread";
 };
 
 void usage() {
@@ -117,15 +124,21 @@ void usage() {
       "usage: cts_shardd [--port=N] [--port-file=PATH] [--bench-dir=DIR]\n"
       "                  [--work-dir=DIR] [--max-jobs=N]\n"
       "                  [--fault-exit-after=N] [--log=PATH]\n"
-      "                  [--log-level=debug|info|warn|error] [--quiet]\n\n"
+      "                  [--log-level=debug|info|warn|error] [--quiet]\n"
+      "                  [--profile=PATH] [--profile-folded=PATH]\n"
+      "                  [--profile-hz=N] [--profile-backend=thread|itimer]\n\n"
       "TCP worker for `cts_simd run --workers=`: accepts cts.job.v1 shard\n"
       "jobs (bench registry id + shard spec + REPRO_* env + deadline), runs\n"
       "the shard as a child process, and streams the cts.shard.v1 payload\n"
       "back with a per-job obs capture.  The same port answers\n"
       "cts.statsreq.v1 with a live cts.stats.v1 status snapshot (see\n"
-      "cts_obstop).  Events go to --log as cts.events.v1 JSONL (default:\n"
-      "stderr unless --quiet).  --port=0 picks an ephemeral port (printed,\n"
-      "and written to --port-file when given).\n"
+      "cts_obstop); send {\"format\":\"openmetrics\"} in the request to get\n"
+      "an OpenMetrics 1.0 text exposition instead of JSON.  Events go to\n"
+      "--log as cts.events.v1 JSONL (default: stderr unless --quiet).\n"
+      "--profile samples the active span stacks while the daemon runs and\n"
+      "writes a cts.profile.v1 JSON document on clean exit\n"
+      "(--profile-folded: collapsed-stack text).  --port=0 picks an\n"
+      "ephemeral port (printed, and written to --port-file when given).\n"
       "Exit codes: 0 clean shutdown (--max-jobs), 2 usage or setup error.\n");
 }
 
@@ -170,6 +183,11 @@ net::JobResult run_job(const Options& opt, const net::JobRequest& job,
   net::JobResult result;
   result.has_obs = true;
   result.obs.recv_us = recv_us;
+  // Queue wait: request receipt to here — time spent behind the job_mu
+  // serialization (and the request parse).  A hot SLO input: a fast worker
+  // with a deep queue is slow from the dispatcher's seat.
+  const double queue_wait_ms =
+      static_cast<double>(recorder.now_us() - recv_us) / 1e3;
   const double start = monotonic_s();
   const std::string tag = std::to_string(job_index);
 
@@ -264,6 +282,10 @@ net::JobResult run_job(const Options& opt, const net::JobRequest& job,
   job_metrics.add(result.ok ? "shardd.jobs_ok" : "shardd.jobs_failed");
   if (job.attempt > 1) job_metrics.add("shardd.jobs_retried");
   job_metrics.observe("shardd.job_wall_ms", result.elapsed_s * 1e3);
+  // Log-bucketed twins carry the tail: cts_obstop renders p50/p95/p99/p999
+  // (and SLO flags) from these, which fixed edges cannot resolve.
+  job_metrics.observe_log("shardd.job_wall_ms", result.elapsed_s * 1e3);
+  job_metrics.observe_log("shardd.queue_wait_ms", queue_wait_ms);
   st->metrics.merge(job_metrics);
   result.obs.metrics = std::move(job_metrics);
 
@@ -316,8 +338,32 @@ void handle_connection(net::Socket conn, DaemonState* st) {
     }
 
     if (schema == net::kStatsRequestSchema) {
-      net::send_frame(conn, net::write_stats_json(snapshot_stats(st)),
-                      kReplyWriteTimeoutS);
+      net::StatsFormat format = net::StatsFormat::kJson;
+      try {
+        format = net::parse_stats_request(request);
+      } catch (const cu::Error& e) {
+        // Unknown format: answer in JSON rather than dropping the scrape;
+        // the monitor's own parser will surface the mismatch.
+        obs::log_warn("stats.bad_format", {{"error", e.what()}});
+      }
+      const net::WorkerStats stats = snapshot_stats(st);
+      if (format == net::StatsFormat::kOpenMetrics) {
+        // Exposition view: the lossless snapshot plus the liveness fields
+        // that live outside the registry, labelled with the worker id.
+        obs::MetricsShard shard = stats.metrics;
+        shard.gauge("shardd.uptime_s", stats.uptime_s);
+        shard.gauge("shardd.jobs_in_flight",
+                    static_cast<double>(stats.jobs_in_flight));
+        shard.add("shardd.stats_served", stats.stats_served);
+        obs::OpenMetricsOptions om;
+        om.labels = {{"worker", stats.worker}};
+        std::ostringstream os;
+        obs::write_openmetrics(os, shard, om);
+        net::send_frame(conn, os.str(), kReplyWriteTimeoutS);
+      } else {
+        net::send_frame(conn, net::write_stats_json(stats),
+                        kReplyWriteTimeoutS);
+      }
       obs::log_debug("stats.query", {});
       return;
     }
@@ -401,6 +447,15 @@ int serve(const Options& opt) {
   // table, so the recorder is always on in the daemon.
   obs::TraceRecorder::global().enable();
 
+  const bool profiling =
+      !opt.profile_path.empty() || !opt.profile_folded.empty();
+  if (profiling) {
+    obs::Profiler::Options popts;
+    popts.hz = opt.profile_hz;
+    popts.backend = opt.profile_backend;
+    obs::Profiler::global().start(popts);
+  }
+
   std::uint16_t port = 0;
   net::Socket listener = net::listen_on(opt.port, &port);
   st.port = port;
@@ -448,6 +503,23 @@ int serve(const Options& opt) {
                    std::chrono::duration<double>(kDrainTimeoutS),
                    [&st] { return st.active_conns == 0; });
   }
+  if (profiling) {
+    obs::Profiler& prof = obs::Profiler::global();
+    prof.stop();
+    if (!opt.profile_path.empty() && !prof.write(opt.profile_path)) {
+      std::fprintf(stderr, "cts_shardd: cannot write profile %s\n",
+                   opt.profile_path.c_str());
+    }
+    if (!opt.profile_folded.empty() &&
+        !prof.write_folded_file(opt.profile_folded)) {
+      std::fprintf(stderr, "cts_shardd: cannot write folded profile %s\n",
+                   opt.profile_folded.c_str());
+    }
+    obs::log_info("profile.write",
+                  {{"samples", static_cast<std::int64_t>(prof.sample_count())},
+                   {"path", opt.profile_path.empty() ? opt.profile_folded
+                                                     : opt.profile_path}});
+  }
   obs::log_info("daemon.exit",
                 {{"served", static_cast<std::int64_t>(st.served)},
                  {"reason", "max-jobs"}});
@@ -481,6 +553,10 @@ int main(int argc, char** argv) {
     opt.max_jobs = flags.get_int("max-jobs", 0);
     opt.fault_exit_after = flags.get_int("fault-exit-after", -1);
     opt.quiet = flags.get_bool("quiet", false);
+    opt.profile_path = flags.get_string("profile", "");
+    opt.profile_folded = flags.get_string("profile-folded", "");
+    opt.profile_hz = static_cast<int>(flags.get_int("profile-hz", 97));
+    opt.profile_backend = flags.get_string("profile-backend", "thread");
 
     // Event sink: --log beats stderr; --quiet silences the default stderr
     // sink but an explicit --log file still receives events.

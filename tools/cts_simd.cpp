@@ -33,8 +33,9 @@
 // order-sensitive across shard boundaries), gauges exactly except the
 // layout-dependent {sim.threads, sim.shard.index, sim.shard.count}, and
 // histograms by count only when the name contains "wall_ms" (timings are
-// never reproducible).  A section missing from one report entirely is a
-// reported difference (exit 1), not a parse error.
+// never reproducible), and log-bucketed percentile histograms likewise by
+// count only when the name contains "_ms".  A section missing from one
+// report entirely is a reported difference (exit 1), not a parse error.
 //
 // Exit codes: 0 success / reports match, 1 worker failure / merge error /
 // reports differ, 2 usage or parse errors.
@@ -70,6 +71,7 @@
 #include "cts/obs/event_log.hpp"
 #include "cts/obs/json.hpp"
 #include "cts/obs/metrics.hpp"
+#include "cts/obs/profiler.hpp"
 #include "cts/obs/run_report.hpp"
 #include "cts/obs/trace.hpp"
 #include "cts/obs/trace_merge.hpp"
@@ -100,6 +102,9 @@ void usage() {
       "                    [--job-timeout=SECS] [--retries=N] "
       "[--bench-dir=DIR]\n"
       "                    [--dispatch-metrics=PATH] [--trace=PATH]\n"
+      "                    [--profile=PATH] [--profile-folded=PATH]\n"
+      "                    [--profile-hz=N] "
+      "[--profile-backend=thread|itimer]\n"
       "                    [--log=PATH] [--log-level=LEVEL] [...]\n"
       "       cts_simd merge SHARD.json... [--metrics=PATH] [--quiet]\n"
       "       cts_simd diff REPORT_A.json REPORT_B.json [--quiet]\n\n"
@@ -295,8 +300,58 @@ struct NetRunOptions {
   std::vector<net::Endpoint> workers;
   double job_timeout_s = 300;
   int retries = 3;
+  std::string profile_path;            ///< cts.profile.v1 JSON ("" = off)
+  std::string profile_folded;          ///< collapsed-stack text ("" = off)
+  int profile_hz = 97;
+  std::string profile_backend = "thread";
   bool keep_shards = false;
   bool quiet = false;
+};
+
+/// Arms the dispatcher's sampling profiler when --profile/--profile-folded
+/// asked for one, and flushes it on scope exit — the early error returns in
+/// run_networked still leave a usable profile behind.
+class DispatchProfile {
+ public:
+  explicit DispatchProfile(const NetRunOptions& opt) : opt_(opt) {
+    if (opt_.profile_path.empty() && opt_.profile_folded.empty()) return;
+    obs::Profiler::Options popts;
+    popts.hz = opt_.profile_hz;
+    popts.backend = opt_.profile_backend;
+    obs::Profiler::global().start(popts);
+    started_ = true;
+  }
+  ~DispatchProfile() {
+    if (!started_) return;
+    obs::Profiler& prof = obs::Profiler::global();
+    prof.stop();
+    if (!opt_.profile_path.empty() && !prof.write(opt_.profile_path)) {
+      std::fprintf(stderr, "cts_simd: cannot write profile %s\n",
+                   opt_.profile_path.c_str());
+    }
+    if (!opt_.profile_folded.empty() &&
+        !prof.write_folded_file(opt_.profile_folded)) {
+      std::fprintf(stderr, "cts_simd: cannot write folded profile %s\n",
+                   opt_.profile_folded.c_str());
+    }
+    obs::log_info("profile.write",
+                  {{"samples", prof.sample_count()},
+                   {"path", opt_.profile_path.empty() ? opt_.profile_folded
+                                                      : opt_.profile_path}});
+    if (!opt_.quiet) {
+      std::printf("[profile (%llu samples) written to %s]\n",
+                  static_cast<unsigned long long>(prof.sample_count()),
+                  (opt_.profile_path.empty() ? opt_.profile_folded
+                                             : opt_.profile_path)
+                      .c_str());
+    }
+  }
+  DispatchProfile(const DispatchProfile&) = delete;
+  DispatchProfile& operator=(const DispatchProfile&) = delete;
+
+ private:
+  const NetRunOptions& opt_;
+  bool started_ = false;
 };
 
 /// Consecutive failures after which a worker endpoint is declared down and
@@ -430,6 +485,11 @@ void worker_thread(const net::Endpoint& ep, std::size_t worker_index,
     const double wall_ms = (monotonic_s() - start) * 1e3;
     dispatch->observe("simd.net.job_wall_ms", wall_ms);
     dispatch->observe(wtag + ".wall_ms", wall_ms);
+    // Log-histogram twins carry the percentile view (p50..p999) that the
+    // fixed-edge histograms above cannot: dispatch RPC latency spans orders
+    // of magnitude between a warm loopback worker and a retried WAN job.
+    dispatch->observe_log("simd.net.job_wall_ms", wall_ms);
+    dispatch->observe_log(wtag + ".wall_ms", wall_ms);
     dispatch->add("simd.net.jobs_dispatched");
     if (capture.has) {
       // The worker's per-job metrics delta joins the dispatch registry —
@@ -506,6 +566,7 @@ int run_networked(const NetRunOptions& opt) {
   const bench::BenchSpec& spec = bench::spec(opt.bench_id);
   cu::make_dirs(opt.out_dir);
   if (!opt.trace_path.empty()) obs::TraceRecorder::global().enable();
+  DispatchProfile profile(opt);
   std::string worker_list;
   for (const net::Endpoint& ep : opt.workers) {
     if (!worker_list.empty()) worker_list += ",";
@@ -802,6 +863,27 @@ std::size_t diff_metrics(const obs::JsonValue& a, const obs::JsonValue& b,
     }
   });
 
+  for_union("log_histograms", [&](const std::string& name,
+                                  const obs::JsonValue* va,
+                                  const obs::JsonValue* vb) {
+    if (va == nullptr || vb == nullptr) {
+      report("log_histogram " + name + " present in only one report");
+      return;
+    }
+    if (va->at("count").as_number() != vb->at("count").as_number()) {
+      report("log_histogram " + name + " count: " +
+             std::to_string(va->at("count").as_number()) + " vs " +
+             std::to_string(vb->at("count").as_number()));
+      return;
+    }
+    // Same rule as histograms: latency distributions (all current log
+    // histograms are millisecond timings) compare by count only.
+    if (name.find("_ms") != std::string::npos) return;
+    if (va->at("mean").as_number() != vb->at("mean").as_number()) {
+      report("log_histogram " + name + " mean differs");
+    }
+  });
+
   return differences;
 }
 
@@ -879,6 +961,10 @@ int main(int argc, char** argv) {
         opt.dispatch_metrics_path =
             flags.get_string("dispatch-metrics", "");
         opt.trace_path = flags.get_string("trace", "");
+        opt.profile_path = flags.get_string("profile", "");
+        opt.profile_folded = flags.get_string("profile-folded", "");
+        opt.profile_hz = static_cast<int>(flags.get_int("profile-hz", 97));
+        opt.profile_backend = flags.get_string("profile-backend", "thread");
         opt.bench_dir = flags.get_string("bench-dir", "");
         if (opt.bench_dir.empty()) {
           const char* env = std::getenv("CTS_BENCH_DIR");
