@@ -1,4 +1,4 @@
-// Registry of the 16 figure/table/ablation benches: one BenchSpec per
+// Registry of the figure/table/ablation/service benches: one BenchSpec per
 // binary, shared by the bench mains themselves (which echo their spec into
 // run/perf reports via ObsGuard) and by tools/cts_benchd (which uses it to
 // select and launch suites).
@@ -8,7 +8,7 @@
 //              committed BENCH_*.json perf baseline
 //   sim      - every bench that runs the replicated fluid/cell simulators
 //   analytic - closed-form benches only (no simulation)
-//   full     - all 16
+//   full     - everything
 //
 // The micro benches (bench_micro_*) are Google-Benchmark binaries with
 // their own repetition machinery and are deliberately not part of this
@@ -64,6 +64,8 @@ inline constexpr BenchSpec kSuite[] = {
      "Ablation: LRD model family comparison"},
     {"ablation_cutoff", "bench_ablation_cutoff", "sim", false,
      "Ablation: correlation cutoff sensitivity"},
+    {"cacd", "bench_cacd", "analytic", true,
+     "Admission service: CAC query throughput, cold vs warm cache"},
 };
 
 inline constexpr std::size_t kSuiteSize = sizeof(kSuite) / sizeof(kSuite[0]);

@@ -30,4 +30,11 @@ struct BopPoint {
 BopPoint br_log10_bop(const RateFunction& rate, double buffer_per_source,
                       std::size_t n_sources);
 
+/// Same, but from an already-evaluated rate-function point: the BR
+/// asymptotic is closed-form in (I, N), so a memoized RateResult turns a
+/// CTS scan into O(1) work.  Bit-identical to the RateFunction overload
+/// for the same (I, m*).
+BopPoint br_log10_bop(const RateResult& rate_point, double buffer_per_source,
+                      std::size_t n_sources);
+
 }  // namespace cts::core

@@ -42,6 +42,14 @@ class RateFunction {
   /// I(c, b) and m* for per-source buffer b >= 0 (cells).
   RateResult evaluate(double buffer_per_source) const;
 
+  /// Warm-started evaluation: begins the integer scan at `m_hint` instead
+  /// of 1.  The result is bit-identical to the cold scan provided
+  /// m_hint <= m*_b (the smallest minimiser): m*_b is non-decreasing in b
+  /// at fixed c (decreasing differences of the objective in (m, b)), so a
+  /// cached m* from any smaller buffer is always a valid hint.
+  /// m_hint = 1 reproduces the cold scan exactly.
+  RateResult evaluate(double buffer_per_source, std::size_t m_hint) const;
+
   double mean() const noexcept { return mean_; }
   double bandwidth() const noexcept { return bandwidth_; }
   const VarianceGrowth& variance_growth() const noexcept { return growth_; }

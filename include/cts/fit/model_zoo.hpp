@@ -86,6 +86,23 @@ ModelSpec make_mginf(double beta, const PaperConstants& constants = {});
 ModelSpec make_dar_negbinom(double a, std::size_t p,
                             const PaperConstants& constants = {});
 
+/// Builds a zoo model from a compact id string, the wire format the
+/// admission-control service accepts:
+///
+///   "za:0.9"       -> make_za(0.9)
+///   "vv:1.5"       -> make_vv(1.5)
+///   "dar:0.9:2"    -> make_dar_matched_to_za(0.9, 2)
+///   "l"            -> make_l()
+///   "white"        -> make_white()
+///   "ar1:0.8"      -> make_ar1(0.8)
+///   "farima:0.3"   -> make_farima(0.3)
+///   "mginf:1.4"    -> make_mginf(1.4)
+///
+/// Numeric fields are parsed strictly (full-string); a malformed or
+/// unknown id throws util::InvalidArgument naming the id and the reason.
+ModelSpec model_from_id(const std::string& id,
+                        const PaperConstants& constants = {});
+
 /// Parameters echoing Table 1 for reporting: the derived lambda (cells/s),
 /// T0 (msec), calibrated DAR coefficient, etc., for a mixture model.
 struct MixtureReport {

@@ -1,0 +1,126 @@
+// The cts.cac.v1 / cts.cacresult.v1 wire schema: one admission-control
+// request batch and its reply, as framed JSON (see frame.hpp).
+//
+// Request (client -> cts_cacd):
+//
+//   {"schema":"cts.cac.v1",
+//    "model":{"id":"za:0.9"},                // model-zoo id, OR inline:
+//    "model":{"kind":"geometric","mean":500,"variance":5000,"a":0.8},
+//    "model":{"kind":"white","mean":500,"variance":5000},
+//    "model":{"kind":"lrd","mean":500,"variance":5000,
+//             "hurst":0.9,"weight":0.9},
+//    "deadline_s":5,                         // 0: daemon default
+//    "queries":[
+//      {"kind":"admit_br","capacity":16140,"buffer":4035,"log10_clr":-6},
+//      {"kind":"admit_eb","capacity":16140,"buffer":4035,"log10_clr":-6},
+//      {"kind":"bop","capacity":16140,"buffer":4035,"log10_clr":-6,
+//       "n":50,"interp":true}]}
+//
+// Reply (cts_cacd -> client):
+//
+//   {"schema":"cts.cacresult.v1","ok":true,"model":"Z^0.9",
+//    "elapsed_s":0.012,
+//    "answers":[
+//      {"ok":true,"admissible":30,"log10_bop":-6.4},
+//      {"ok":false,"error":"asymptotic_variance_rate: ..."},
+//      {"ok":true,"admissible":0,"log10_bop":-5.9,"interpolated":true}]}
+//   {"schema":"cts.cacresult.v1","ok":false,"error":"..."}
+//
+// "admit_br" / "admit_eb" answer with the paper's Bahadur-Rao rule and the
+// classical effective-bandwidth rule (cac.hpp); "bop" reports the log10
+// overflow probability for an explicit connection count N, optionally
+// allowing interpolation between cached buffer grid points ("interp").
+// Admit decisions never interpolate: their numbers are bit-identical to
+// direct admissible_connections_br/_eb calls (the %.17g JSON round-trip
+// preserves this on the wire).  A query that fails analytically (e.g.
+// "admit_eb" on an LRD model, whose variance rate diverges) gets a
+// per-query {"ok":false} with the library's error text; a malformed
+// document gets a request-level {"ok":false} -- the daemon never crashes
+// on bad input.  Parsing is strict and pure (no sockets), hence fully
+// unit-testable.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cts/fit/model_zoo.hpp"
+
+namespace cts::net {
+
+inline constexpr char kCacSchema[] = "cts.cac.v1";
+inline constexpr char kCacResultSchema[] = "cts.cacresult.v1";
+
+/// A model reference: exactly one of a zoo id or an inline spec.
+struct CacModel {
+  std::string zoo_id;  ///< e.g. "za:0.9"; empty for inline specs
+
+  // Inline spec (when zoo_id is empty):
+  std::string kind;        ///< "geometric" | "white" | "lrd"
+  double mean = 0.0;       ///< cells/frame, > 0
+  double variance = 0.0;   ///< (cells/frame)^2, > 0
+  double a = 0.0;          ///< geometric: lag-1 correlation in [0, 1)
+  double hurst = 0.0;      ///< lrd: H in (0.5, 1)
+  double weight = 0.0;     ///< lrd: r(1) weight in (0, 1]
+};
+
+/// What a single query asks for.
+enum class CacQueryKind { kAdmitBr, kAdmitEb, kBop };
+
+/// One admission/BOP question against one link configuration.
+struct CacQuery {
+  CacQueryKind kind = CacQueryKind::kAdmitBr;
+  double capacity = 0.0;     ///< link capacity C (cells/frame)
+  double buffer = 0.0;       ///< total buffer B (cells)
+  double log10_clr = 0.0;    ///< QOS target, < 0
+  std::size_t n = 0;         ///< bop only: connection count, >= 1
+  bool interpolate = false;  ///< bop only: allow grid interpolation
+};
+
+/// One request batch: a model plus the queries to answer against it.
+struct CacRequest {
+  CacModel model;
+  double deadline_s = 0.0;  ///< 0: daemon default
+  std::vector<CacQuery> queries;
+};
+
+std::string write_cac_request_json(const CacRequest& request);
+
+/// Parses and validates a cts.cac.v1 document; throws InvalidArgument on
+/// a wrong schema tag, an unknown model/query kind, a non-positive
+/// capacity, a non-negative CLR target, an empty batch, etc.  Does NOT
+/// resolve the model (see resolve_cac_model).
+CacRequest parse_cac_request(const std::string& text);
+
+/// Builds the analytic model a request refers to: zoo ids go through
+/// fit::model_from_id; inline specs get a canonical name encoding their
+/// parameters (so equal specs share cache entries).  Throws
+/// InvalidArgument on out-of-range parameters or an unknown zoo id.
+fit::ModelSpec resolve_cac_model(const CacModel& model);
+
+/// Answer to one query.
+struct CacAnswer {
+  bool ok = false;
+  std::string error;            ///< when !ok (analytic failure)
+  std::size_t admissible = 0;   ///< admit_br / admit_eb
+  double log10_bop = 0.0;       ///< BOP at the answer
+  bool interpolated = false;    ///< bop: served by interpolation
+};
+
+/// One reply: request-level status plus per-query answers when ok.
+struct CacResponse {
+  bool ok = false;
+  std::string error;       ///< when !ok (malformed request, deadline, ...)
+  std::string model_name;  ///< resolved canonical model name
+  double elapsed_s = 0.0;
+  std::vector<CacAnswer> answers;  ///< one per query, in request order
+};
+
+std::string write_cac_response_json(const CacResponse& response);
+
+/// Parses a cts.cacresult.v1 document; throws InvalidArgument on schema
+/// violations (an ok reply must answer every query it claims, an error
+/// reply must carry a message).
+CacResponse parse_cac_response(const std::string& text);
+
+}  // namespace cts::net

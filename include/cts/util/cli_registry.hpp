@@ -191,6 +191,53 @@ inline constexpr FlagDoc kShardDFlags[] = {
     {"help", "", "print usage and exit"},
 };
 
+/// tools/cts_cacd (all modes: serve, query, eval).
+inline constexpr FlagDoc kCacdFlags[] = {
+    {"port", "N",
+     "serve: TCP port to listen on (default 0 = ephemeral, printed); "
+     "query: the daemon's port (required)"},
+    {"port-file", "PATH", "serve: write the bound port to PATH"},
+    {"max-requests", "N",
+     "serve: exit 0 after serving N CAC requests (default 0 = forever)"},
+    {"deadline", "SECS",
+     "serve: default per-request batch deadline when the request omits "
+     "deadline_s (default 30); query: the deadline_s to send (default 0 = "
+     "daemon default)"},
+    {"host", "H", "query: daemon host (default 127.0.0.1)"},
+    {"model", "ID",
+     "query/eval: model-zoo id — za:A, vv:V, dar:A:P, l, white, ar1:PHI, "
+     "farima:D, mginf:BETA (default za:0.9)"},
+    {"capacity", "C",
+     "query/eval: link capacity, cells/frame (default 16140)"},
+    {"buffer", "B", "query/eval: total buffer, cells (default 4035)"},
+    {"clr", "L", "query/eval: log10 CLR target, < 0 (default -6)"},
+    {"kind", "K,K,...",
+     "query/eval: comma list of query kinds — admit_br, admit_eb, bop "
+     "(default admit_br); one query per entry"},
+    {"n", "N", "query/eval: connection count for bop queries (default 1)"},
+    {"interp", "",
+     "query: let bop answers interpolate between cached grid points"},
+    {"timeout", "SECS",
+     "query: connect/send/receive network deadline (default 30)"},
+    {"request-file", "PATH",
+     "query: send this file verbatim as the request instead of building "
+     "one from flags"},
+    {"profile", "PATH",
+     "serve: write a cts.profile.v1 span-stack sampling profile on clean "
+     "exit"},
+    {"profile-folded", "PATH",
+     "serve: write the profile as collapsed-stack text on clean exit"},
+    {"profile-hz", "N", "profiler sampling rate in Hz (default 97)"},
+    {"profile-backend", "NAME",
+     "profiler backend: thread (wall clock) or itimer (SIGPROF, CPU time)"},
+    {"log", "PATH",
+     "append cts.events.v1 JSONL events to PATH instead of stderr"},
+    {"log-level", "LEVEL",
+     "event-log sink threshold: debug|info|warn|error (default info)"},
+    {"quiet", "", "silence the default stderr event sink"},
+    {"help", "", "print usage and exit"},
+};
+
 /// tools/cts_obstop.
 inline constexpr FlagDoc kObstopFlags[] = {
     {"workers", "HOST:PORT,...",
@@ -246,6 +293,7 @@ inline constexpr ToolDoc kTools[] = {
     {"cts_simd", kSimdFlags, sizeof(kSimdFlags) / sizeof(kSimdFlags[0])},
     {"cts_shardd", kShardDFlags,
      sizeof(kShardDFlags) / sizeof(kShardDFlags[0])},
+    {"cts_cacd", kCacdFlags, sizeof(kCacdFlags) / sizeof(kCacdFlags[0])},
     {"cts_obstop", kObstopFlags,
      sizeof(kObstopFlags) / sizeof(kObstopFlags[0])},
 };

@@ -53,6 +53,17 @@ class Flags {
   std::map<std::string, std::string> values_;
 };
 
+/// Strict full-string double parse: `text` must be exactly one finite
+/// decimal/scientific number ("1.5", "-2e3").  Returns false on empty
+/// input, trailing junk ("1.5abc"), or overflow ("1e999").  Underflow to
+/// zero/denormal is accepted.  Stores the value in *out on success.
+bool try_parse_double(const std::string& text, double* out) noexcept;
+
+/// Strict full-string integer parse (the env_int treatment): `text` must
+/// be exactly one base-10 64-bit integer.  Returns false on empty input,
+/// trailing junk ("12abc"), or overflow.
+bool try_parse_int(const std::string& text, std::int64_t* out) noexcept;
+
 /// True when environment variable `name` is set to a truthy value
 /// ("1", "true", "yes", "on", case-insensitive).
 bool env_flag(const std::string& name);

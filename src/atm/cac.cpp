@@ -2,9 +2,8 @@
 
 #include <cmath>
 
-#include "cts/core/br_asymptotic.hpp"
+#include "cts/atm/cac_cache.hpp"
 #include "cts/core/effective_bandwidth.hpp"
-#include "cts/core/rate_function.hpp"
 #include "cts/util/error.hpp"
 
 namespace cts::atm {
@@ -17,50 +16,16 @@ void CacProblem::validate() const {
                 "CacProblem: target CLR must be below 1 (log10 < 0)");
 }
 
-namespace {
-
-/// log10 BOP for N connections of `model` on the problem's link, or +inf
-/// when N is infeasible (c <= mu).
-double log10_bop_for_n(const fit::ModelSpec& model, const CacProblem& problem,
-                       std::size_t n) {
-  const double c =
-      problem.capacity_cells_per_frame / static_cast<double>(n);
-  if (c <= model.mean) return 0.0;  // unstable: probability ~1
-  const double b = problem.buffer_cells / static_cast<double>(n);
-  core::RateFunction rate(model.acf, model.mean, model.variance, c);
-  return core::br_log10_bop(rate, b, n).log10_bop;
-}
-
-}  // namespace
-
 CacResult admissible_connections_br(const fit::ModelSpec& model,
                                     const CacProblem& problem) {
-  problem.validate();
-  util::require(model.mean > 0.0, "admissible_connections_br: bad model");
-
-  // Hard upper bound: stability requires N < C/mu.
-  const auto n_max = static_cast<std::size_t>(
-      std::floor(problem.capacity_cells_per_frame / model.mean));
-  CacResult result;
-  if (n_max == 0) return result;
-  if (log10_bop_for_n(model, problem, 1) > problem.log10_target_clr) {
-    return result;  // even one connection misses the QOS target
-  }
-  // Binary search for the largest feasible N; BOP is monotone increasing
-  // in N on this fixed link.
-  std::size_t lo = 1;        // feasible
-  std::size_t hi = n_max;    // possibly infeasible
-  while (lo < hi) {
-    const std::size_t mid = lo + (hi - lo + 1) / 2;
-    if (log10_bop_for_n(model, problem, mid) <= problem.log10_target_clr) {
-      lo = mid;
-    } else {
-      hi = mid - 1;
-    }
-  }
-  result.admissible = lo;
-  result.log10_bop_at_max = log10_bop_for_n(model, problem, lo);
-  return result;
+  // One-shot convenience wrapper over the memoizing path: the binary
+  // search probes distinct N (hence distinct per-connection operating
+  // points), and the final BOP report reuses the cached probe for the
+  // answering N instead of re-running its CTS scan.  An infeasible N
+  // (c <= mean) reports log10 BOP = 0.0 -- log10 of probability ~1, NOT
+  // +inf: the log10 scale is clamped at certainty.
+  CacCache cache;
+  return cache.admissible_br(model, problem);
 }
 
 CacResult admissible_connections_eb(const fit::ModelSpec& model,

@@ -10,8 +10,13 @@ namespace cts::core {
 
 BopPoint br_log10_bop(const RateFunction& rate, double buffer_per_source,
                       std::size_t n_sources) {
+  return br_log10_bop(rate.evaluate(buffer_per_source), buffer_per_source,
+                      n_sources);
+}
+
+BopPoint br_log10_bop(const RateResult& r, double buffer_per_source,
+                      std::size_t n_sources) {
   util::require(n_sources >= 1, "br_log10_bop: need at least one source");
-  const RateResult r = rate.evaluate(buffer_per_source);
   const double n = static_cast<double>(n_sources);
   const double exponent_nats = n * r.rate;
   // ln Psi = -N I - (1/2) ln(4 pi N I).  The refinement term is only

@@ -12,17 +12,23 @@ double asymptotic_variance_rate(const AcfModel& acf, double variance,
                 "asymptotic_variance_rate: variance must be > 0");
   double sum = 0.0;
   double prev_tail_probe = 0.0;
+  bool probe_seeded = false;
   for (std::size_t k = 1; k <= max_terms; ++k) {
     const double r = acf.at(k);
     sum += r;
     // Convergence probe: compare the partial sum against itself one octave
     // earlier.  Geometric tails settle immediately; power-law (LRD) tails
-    // keep drifting and trip the non-convergence error below.
+    // keep drifting and trip the non-convergence error below.  The first
+    // checkpoint only SEEDS the probe: comparing against an unseeded 0
+    // would declare an oscillating ACF whose partial sum happens to pass
+    // near zero at k=64 converged while it is still drifting.
     if ((k & (k - 1)) == 0 && k >= 64) {  // k is a power of two
-      if (std::abs(sum - prev_tail_probe) < tol * std::max(1.0, std::abs(sum))) {
+      if (probe_seeded &&
+          std::abs(sum - prev_tail_probe) < tol * std::max(1.0, std::abs(sum))) {
         return variance * (1.0 + 2.0 * sum);
       }
       prev_tail_probe = sum;
+      probe_seeded = true;
     }
     if (std::abs(r) < tol && k >= 64) {
       return variance * (1.0 + 2.0 * sum);

@@ -16,12 +16,19 @@ RateFunction::RateFunction(std::shared_ptr<const AcfModel> acf, double mean,
 }
 
 RateResult RateFunction::evaluate(double buffer_per_source) const {
+  return evaluate(buffer_per_source, 1);
+}
+
+RateResult RateFunction::evaluate(double buffer_per_source,
+                                  std::size_t m_hint) const {
   // One span per buffer point (tens per curve), not per scanned m — the
   // inner loop below runs up to kMaxScan iterations and must stay
   // allocation-free.
   CTS_TRACE_SPAN("rate_fn.scan");
   util::require(buffer_per_source >= 0.0,
                 "RateFunction::evaluate: buffer must be >= 0");
+  util::require(m_hint >= 1 && m_hint <= kMaxScan,
+                "RateFunction::evaluate: m_hint must be in [1, kMaxScan]");
   const double b = buffer_per_source;
   const double drift = bandwidth_ - mean_;
 
@@ -44,11 +51,16 @@ RateResult RateFunction::evaluate(double buffer_per_source) const {
   std::size_t horizon = kMinScan;
   horizon = std::max(horizon, static_cast<std::size_t>(
                                   std::llround(kScanMargin * lrd_prediction)));
+  // A warm start deep into the scan still gets the full multiplicative
+  // margin past the hint, so the stopping rule's coverage guarantee holds
+  // unchanged.
+  horizon = std::max(horizon, static_cast<std::size_t>(std::llround(
+                                  kScanMargin * static_cast<double>(m_hint))));
 
   RateResult best;
-  best.critical_m = 1;
-  best.rate = objective(1);
-  for (std::size_t m = 2; m <= horizon; ++m) {
+  best.critical_m = m_hint;
+  best.rate = objective(m_hint);
+  for (std::size_t m = m_hint + 1; m <= horizon; ++m) {
     const double value = objective(m);
     if (value < best.rate) {
       best.rate = value;

@@ -14,6 +14,7 @@
 #include "cts/proc/mginf.hpp"
 #include "cts/proc/superposition.hpp"
 #include "cts/util/error.hpp"
+#include "cts/util/flags.hpp"
 #include "cts/util/rng.hpp"
 
 namespace cts::fit {
@@ -341,6 +342,82 @@ DarFit report_dar_fit(double a, std::size_t p,
   std::vector<double> targets(p);
   for (std::size_t k = 1; k <= p; ++k) targets[k - 1] = za.acf->at(k);
   return fit_dar(targets);
+}
+
+ModelSpec model_from_id(const std::string& id,
+                        const PaperConstants& constants) {
+  // Split on ':' into family + parameter fields.
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = id.find(':', start);
+    if (colon == std::string::npos) {
+      parts.push_back(id.substr(start));
+      break;
+    }
+    parts.push_back(id.substr(start, colon - start));
+    start = colon + 1;
+  }
+  const std::string& family = parts[0];
+  const std::size_t arity = parts.size() - 1;
+
+  auto bad = [&](const std::string& why) -> util::InvalidArgument {
+    return util::InvalidArgument("model id '" + id + "': " + why);
+  };
+  auto number = [&](std::size_t i) {
+    double value = 0.0;
+    if (!util::try_parse_double(parts[i], &value)) {
+      throw bad("expected a number, got '" + parts[i] + "'");
+    }
+    return value;
+  };
+  auto expect_arity = [&](std::size_t want) {
+    if (arity != want) {
+      throw bad("family '" + family + "' takes " + std::to_string(want) +
+                " parameter(s), got " + std::to_string(arity));
+    }
+  };
+
+  if (family == "za") {
+    expect_arity(1);
+    return make_za(number(1), constants);
+  }
+  if (family == "vv") {
+    expect_arity(1);
+    return make_vv(number(1), constants);
+  }
+  if (family == "dar") {
+    expect_arity(2);
+    const double a = number(1);
+    std::int64_t p = 0;
+    if (!util::try_parse_int(parts[2], &p) || p < 1) {
+      throw bad("DAR order must be a positive integer, got '" + parts[2] +
+                "'");
+    }
+    return make_dar_matched_to_za(a, static_cast<std::size_t>(p), constants);
+  }
+  if (family == "l") {
+    expect_arity(0);
+    return make_l(constants);
+  }
+  if (family == "white") {
+    expect_arity(0);
+    return make_white(constants);
+  }
+  if (family == "ar1") {
+    expect_arity(1);
+    return make_ar1(number(1), constants);
+  }
+  if (family == "farima") {
+    expect_arity(1);
+    return make_farima(number(1), constants);
+  }
+  if (family == "mginf") {
+    expect_arity(1);
+    return make_mginf(number(1), constants);
+  }
+  throw bad(
+      "unknown family (known: za, vv, dar, l, white, ar1, farima, mginf)");
 }
 
 }  // namespace cts::fit

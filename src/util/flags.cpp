@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "cts/util/error.hpp"
@@ -47,23 +48,27 @@ std::int64_t Flags::get_int(const std::string& key,
                             std::int64_t fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  try {
-    return std::stoll(it->second);
-  } catch (const std::exception&) {
+  std::int64_t value = 0;
+  // Strict full-string parse (the env_int treatment): "--reps=12abc" would
+  // otherwise run 12 replications, and an overflowing value would wrap.
+  if (!try_parse_int(it->second, &value)) {
     throw InvalidArgument("Flags: --" + key + " expects an integer, got '" +
                           it->second + "'");
   }
+  return value;
 }
 
 double Flags::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  try {
-    return std::stod(it->second);
-  } catch (const std::exception&) {
+  double value = 0.0;
+  // Strict full-string parse: std::stod would silently accept "1.5abc" and
+  // a threshold typo would gate on the wrong number.
+  if (!try_parse_double(it->second, &value)) {
     throw InvalidArgument("Flags: --" + key + " expects a number, got '" +
                           it->second + "'");
   }
+  return value;
 }
 
 bool Flags::get_bool(const std::string& key, bool fallback) const {
@@ -145,6 +150,32 @@ std::size_t Flags::warn_unknown(std::ostream& os,
   for (const auto& key : known) os << " --" << key;
   os << "]\n";
   return unknown.size();
+}
+
+bool try_parse_double(const std::string& text, double* out) noexcept {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') return false;
+  // Overflow is an error; underflow to zero/denormal is an acceptable
+  // representation of a tiny input.
+  if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
+    return false;
+  }
+  if (out != nullptr) *out = value;
+  return true;
+}
+
+bool try_parse_int(const std::string& text, std::int64_t* out) noexcept {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return false;
+  if (errno == ERANGE) return false;
+  if (out != nullptr) *out = value;
+  return true;
 }
 
 bool env_flag(const std::string& name) {

@@ -81,6 +81,32 @@ TEST(CacBr, ZeroWhenTargetUnreachable) {
   EXPECT_EQ(result.admissible, 0u);
 }
 
+TEST(CacBr, ZeroWhenCapacityBelowASingleMean) {
+  // C < mu makes even one connection unstable: n_max = floor(C/mu) = 0.
+  // The reported BOP is 0.0 -- log10 of probability ~1 at the clamped
+  // certainty end of the scale, NOT +inf.
+  const cf::ModelSpec model = cf::make_za(0.9);
+  ca::CacProblem p = paper_problem();
+  p.capacity_cells_per_frame = 400.0;  // below the common mean of 500
+  const ca::CacResult result = ca::admissible_connections_br(model, p);
+  EXPECT_EQ(result.admissible, 0u);
+  EXPECT_EQ(result.log10_bop_at_max, 0.0);
+}
+
+TEST(CacBr, SingleConnectionInfeasibilityReportsCertaintyBop) {
+  // One connection fits the link's stability bound (n_max = 1) but misses
+  // the QOS target: admissible 0, and the BOP report stays at the 0.0
+  // certainty clamp rather than the last probed value.
+  const cf::ModelSpec model = cf::make_za(0.99);
+  ca::CacProblem p = paper_problem();
+  p.capacity_cells_per_frame = 510.0;  // barely above one source's mean
+  p.buffer_cells = 10.0;
+  p.log10_target_clr = -12.0;
+  const ca::CacResult result = ca::admissible_connections_br(model, p);
+  EXPECT_EQ(result.admissible, 0u);
+  EXPECT_EQ(result.log10_bop_at_max, 0.0);
+}
+
 TEST(CacEb, WorksForMarkovThrowsForLrd) {
   const cf::ModelSpec dar = cf::make_dar_matched_to_za(0.9, 1);
   const ca::CacResult eb = ca::admissible_connections_eb(dar, paper_problem());
@@ -98,4 +124,24 @@ TEST(CacEbVsBr, EbIsMoreConservativeAtLargeBuffers) {
   const auto br = ca::admissible_connections_br(dar, paper_problem());
   const auto eb = ca::admissible_connections_eb(dar, paper_problem());
   EXPECT_LE(eb.admissible, br.admissible + 1);
+}
+
+TEST(CacEbVsBr, EbNotMoreGenerousOnAGeometricAcf) {
+  // On a plain geometric (AR(1)) ACF both rules exist; EB's straight-line
+  // bandwidth must not out-admit the exact B-R inversion by more than the
+  // integer-rounding slack.
+  const cf::ModelSpec ar1 = cf::make_ar1(0.8);
+  const auto br = ca::admissible_connections_br(ar1, paper_problem());
+  const auto eb = ca::admissible_connections_eb(ar1, paper_problem());
+  EXPECT_GT(eb.admissible, 0u);
+  EXPECT_LE(eb.admissible, br.admissible + 1);
+}
+
+TEST(CacEb, RejectsAsymptoticLrdModels) {
+  // F-ARIMA is only asymptotically LRD (the power law holds in the tail,
+  // not at small lags), but the variance-rate sum still diverges: the EB
+  // rule must refuse it the same way it refuses the exact-LRD family.
+  const cf::ModelSpec farima = cf::make_farima(0.3);
+  EXPECT_THROW(ca::admissible_connections_eb(farima, paper_problem()),
+               cu::NumericalError);
 }

@@ -55,6 +55,55 @@ TEST(DecayRateForTarget, ClosedForm) {
   EXPECT_THROW(cc::decay_rate_for_target(-6.0, 0.0), cu::InvalidArgument);
 }
 
+namespace {
+
+/// Alternating +/-0.4 up to lag 64, then a slowly-decaying LRD tail.  The
+/// partial sum is EXACTLY zero at the k = 64 checkpoint: an unseeded
+/// convergence probe (prev_tail_probe starting at 0.0) sees |sum - 0| = 0
+/// and wrongly declares convergence at the very first checkpoint, even
+/// though the tail sum diverges.
+class OscillatingThenLrdAcf final : public cc::AcfModel {
+ public:
+  double at(std::size_t k) const override {
+    if (k == 0) return 1.0;
+    if (k <= 64) return (k % 2 == 1) ? 0.4 : -0.4;
+    return 0.5 * std::pow(static_cast<double>(k) / 65.0, -0.3);
+  }
+  std::string name() const override { return "oscillating-then-lrd"; }
+};
+
+/// r(k) = (-0.9)^k: a legitimately convergent oscillating ACF with the
+/// closed-form sum -0.9/1.9.
+class AlternatingGeometricAcf final : public cc::AcfModel {
+ public:
+  double at(std::size_t k) const override {
+    return std::pow(-0.9, static_cast<double>(k));
+  }
+  std::string name() const override { return "alternating-geometric"; }
+};
+
+}  // namespace
+
+TEST(AsymptoticVarianceRate, ProbeMustBeSeededBeforeConvergenceIsDeclared) {
+  // Regression: the first power-of-two checkpoint must SEED the tail
+  // probe, not compare against the 0.0 initializer.  This ACF's partial
+  // sum is exactly zero at k = 64, so the unseeded compare declared
+  // convergence and returned the bare marginal variance for a divergent
+  // (LRD-tailed) sum.
+  const OscillatingThenLrdAcf acf;
+  EXPECT_THROW(cc::asymptotic_variance_rate(acf, 5000.0, 1e-12, 1u << 16),
+               cu::NumericalError);
+}
+
+TEST(AsymptoticVarianceRate, ConvergentOscillatingAcfStillConverges) {
+  // The seeding fix must not break genuinely convergent oscillating sums:
+  // sum_{k>=1} (-0.9)^k = -0.9/1.9.
+  const AlternatingGeometricAcf acf;
+  const double expected = 5000.0 * (1.0 + 2.0 * (-0.9 / 1.9));
+  EXPECT_NEAR(cc::asymptotic_variance_rate(acf, 5000.0), expected,
+              1e-6 * std::abs(expected));
+}
+
 TEST(EffectiveBandwidth, TighterQosNeedsMoreBandwidth) {
   const cc::GeometricAcf acf(0.9);
   const double v_rate = cc::asymptotic_variance_rate(acf, 5000.0);

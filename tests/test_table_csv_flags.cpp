@@ -162,6 +162,84 @@ TEST(EnvInt, RejectsMalformedValues) {
   ::unsetenv("CTS_TEST_ENV_INT");
 }
 
+TEST(Flags, GetDoubleRejectsMalformedValues) {
+  // std::stod would silently accept "1.5abc" as 1.5; a typo'd threshold
+  // would then gate on the wrong number.  Strict full-string parsing
+  // rejects trailing junk, empty values, and overflow.
+  const char* argv[] = {"prog", "--x=1.5abc", "--empty=", "--big=1e999999"};
+  cu::Flags flags(4, argv);
+  EXPECT_THROW(flags.get_double("x", 0.0), cu::InvalidArgument);
+  EXPECT_THROW(flags.get_double("empty", 0.0), cu::InvalidArgument);
+  EXPECT_THROW(flags.get_double("big", 0.0), cu::InvalidArgument);
+}
+
+TEST(Flags, GetDoubleErrorNamesFlagAndValue) {
+  const char* argv[] = {"prog", "--threshold=1.5abc"};
+  cu::Flags flags(2, argv);
+  try {
+    flags.get_double("threshold", 0.0);
+    FAIL() << "expected InvalidArgument";
+  } catch (const cu::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--threshold"), std::string::npos);
+    EXPECT_NE(what.find("1.5abc"), std::string::npos);
+  }
+}
+
+TEST(Flags, GetDoubleAcceptsScientificAndUnderflow) {
+  const char* argv[] = {"prog", "--x=1.5e3", "--tiny=1e-320", "--neg=-2.5"};
+  cu::Flags flags(4, argv);
+  EXPECT_DOUBLE_EQ(flags.get_double("x", 0.0), 1500.0);
+  // Underflow to zero/denormal is an acceptable representation of a tiny
+  // input, unlike overflow.
+  EXPECT_NO_THROW(flags.get_double("tiny", 0.0));
+  EXPECT_DOUBLE_EQ(flags.get_double("neg", 0.0), -2.5);
+  EXPECT_DOUBLE_EQ(flags.get_double("absent", 3.5), 3.5);
+}
+
+TEST(Flags, GetIntRejectsMalformedValues) {
+  const char* argv[] = {"prog", "--reps=12abc", "--empty=",
+                        "--big=99999999999999999999999"};
+  cu::Flags flags(4, argv);
+  EXPECT_THROW(flags.get_int("reps", 0), cu::InvalidArgument);
+  EXPECT_THROW(flags.get_int("empty", 0), cu::InvalidArgument);
+  EXPECT_THROW(flags.get_int("big", 0), cu::InvalidArgument);
+  try {
+    flags.get_int("reps", 0);
+    FAIL() << "expected InvalidArgument";
+  } catch (const cu::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--reps"), std::string::npos);
+    EXPECT_NE(what.find("12abc"), std::string::npos);
+  }
+}
+
+TEST(TryParseDouble, StrictFullString) {
+  double value = 0.0;
+  EXPECT_TRUE(cu::try_parse_double("1.5", &value));
+  EXPECT_DOUBLE_EQ(value, 1.5);
+  EXPECT_TRUE(cu::try_parse_double("-2e3", &value));
+  EXPECT_DOUBLE_EQ(value, -2000.0);
+  EXPECT_FALSE(cu::try_parse_double("", &value));
+  EXPECT_FALSE(cu::try_parse_double("1.5abc", &value));
+  EXPECT_FALSE(cu::try_parse_double("abc", &value));
+  EXPECT_FALSE(cu::try_parse_double("1e999", &value));   // overflow
+  EXPECT_TRUE(cu::try_parse_double("1e-999", &value));   // underflow is fine
+  EXPECT_TRUE(cu::try_parse_double("250", nullptr));     // probe-only call
+}
+
+TEST(TryParseInt, StrictFullString) {
+  std::int64_t value = 0;
+  EXPECT_TRUE(cu::try_parse_int("42", &value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(cu::try_parse_int("-7", &value));
+  EXPECT_EQ(value, -7);
+  EXPECT_FALSE(cu::try_parse_int("", &value));
+  EXPECT_FALSE(cu::try_parse_int("12abc", &value));
+  EXPECT_FALSE(cu::try_parse_int("1.5", &value));
+  EXPECT_FALSE(cu::try_parse_int("99999999999999999999999", &value));
+}
+
 TEST(EnvInt, ErrorNamesVariableAndValue) {
   ::setenv("CTS_TEST_ENV_INT", "12abc", 1);
   try {

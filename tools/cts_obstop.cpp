@@ -320,10 +320,12 @@ std::vector<SloSpec> parse_slos(const std::string& arg) {
     if (spec.quantile <= 0 || spec.quantile >= 1) {
       bad("quantile must be in (p0, p<1)");
     }
-    try {
-      spec.threshold_ms = std::stod(entry.substr(c2 + 1));
-    } catch (const std::exception&) {
-      bad("threshold must be a number of milliseconds");
+    // Strict full-string parse: std::stod would silently accept "250abc"
+    // and gate on the wrong threshold.
+    const std::string threshold_text = entry.substr(c2 + 1);
+    if (!cu::try_parse_double(threshold_text, &spec.threshold_ms)) {
+      bad("threshold must be a number of milliseconds, got '" +
+          threshold_text + "'");
     }
     if (spec.threshold_ms <= 0) bad("threshold must be > 0 ms");
     specs.push_back(std::move(spec));
