@@ -14,6 +14,10 @@
 
 #include "cts/atm/cell.hpp"
 
+namespace cts::obs {
+class MetricsShard;
+}
+
 namespace cts::atm {
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected, init/final 0xFFFFFFFF) as
@@ -34,5 +38,28 @@ std::vector<Cell> aal5_segment(const std::vector<std::uint8_t>& payload,
 /// marker.
 std::optional<std::vector<std::uint8_t>> aal5_reassemble(
     const std::vector<Cell>& cells);
+
+/// Frame-level AAL5 overhead accounting for the scenario pipeline
+/// (cts/sim/scenario_run.hpp): one frame of X fluid cells is treated as
+/// one CPCS-PDU of round(X) * 48 payload bytes, and add() returns the
+/// on-the-wire cell count including padding and the 8-byte trailer
+/// (aal5_cells_for_payload).
+///
+/// Obs-aware in the accumulate-then-reduce idiom: add() only updates
+/// local tallies; flush() folds them into a MetricsShard as
+/// atm.aal5.pdus / atm.aal5.payload_cells / atm.aal5.cells and resets.
+class Aal5Framer {
+ public:
+  /// Consumes one frame's fluid cell count, returns the wire cell count.
+  double add(double frame_cells);
+
+  /// Folds and resets the tallies accumulated since the last flush.
+  void flush(obs::MetricsShard& shard);
+
+ private:
+  std::uint64_t pdus_ = 0;
+  std::uint64_t payload_cells_ = 0;
+  std::uint64_t wire_cells_ = 0;
+};
 
 }  // namespace cts::atm

@@ -12,6 +12,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+
+namespace cts::obs {
+class MetricsShard;
+}
 
 namespace cts::atm {
 
@@ -73,6 +78,41 @@ struct PolicingResult {
                      static_cast<double>(cells)
                : 0.0;
   }
+};
+
+/// Frame-level UPC: quantizes a frame's fluid cell count to whole cells,
+/// replays them through a GCRA (or dual leaky bucket) at the deterministic
+/// smoothing schedule (cell j of frame n at (n + (j + 1/2)/k) Ts), and
+/// drops non-conforming cells.  This is the per-source policing stage of
+/// the scenario pipeline (cts/sim/scenario_run.hpp).
+///
+/// Obs-aware in the accumulate-then-reduce idiom: police() only updates a
+/// local PolicingResult; flush() folds it into a MetricsShard as
+/// atm.gcra.cells / atm.gcra.nonconforming and resets it.
+class FramePolicer {
+ public:
+  /// Single-bucket GCRA(1/sustainable_rate, burst_tolerance); rates in
+  /// cells/second, tolerances in seconds, `Ts` the frame duration.
+  FramePolicer(double sustainable_rate, double burst_tolerance, double Ts);
+
+  /// Dual leaky bucket: PCR with CDV tolerance plus SCR with burst
+  /// tolerance.
+  FramePolicer(double peak_rate, double cdv_tolerance,
+               double sustainable_rate, double burst_tolerance, double Ts);
+
+  /// Polices frame `frame_index`'s cells; returns the conforming count.
+  double police(std::uint64_t frame_index, double frame_cells);
+
+  const PolicingResult& tally() const noexcept { return tally_; }
+
+  /// Folds and resets the tallies accumulated since the last flush.
+  void flush(obs::MetricsShard& shard);
+
+ private:
+  std::optional<Gcra> single_;
+  std::optional<DualLeakyBucket> dual_;
+  double Ts_;
+  PolicingResult tally_;
 };
 
 }  // namespace cts::atm

@@ -16,6 +16,10 @@
 
 #include "cts/proc/frame_source.hpp"
 
+namespace cts::obs {
+class MetricsShard;
+}
+
 namespace cts::atm {
 
 /// Per-class tallies of a partial-buffer-sharing run.
@@ -53,5 +57,29 @@ PrioritySharingResult run_partial_buffer_sharing(
     std::vector<std::unique_ptr<proc::FrameSource>>& high_sources,
     std::vector<std::unique_ptr<proc::FrameSource>>& low_sources,
     const PrioritySharingConfig& config);
+
+/// Exact within-frame outcome of the two-priority fluid policy.
+struct PriorityFrameOutcome {
+  double q = 0.0;          ///< end-of-frame queue
+  double low_lost = 0.0;   ///< low-priority fluid dropped this frame
+  double high_lost = 0.0;  ///< high-priority fluid dropped this frame
+};
+
+/// One frame of the two-priority fluid dynamics: starting from queue `q0`
+/// with constant high/low arrival rates `ah`/`al` and service rate `c`
+/// (cells/frame), low fluid blocked while q >= `s` and high fluid while
+/// q >= `b`.  Piecewise-linear evolution with sliding modes at S and B.
+/// This is the exact kernel behind run_partial_buffer_sharing, exposed so
+/// the scenario executor's priority hops (cts/sim/scenario_run.hpp) share
+/// the same dynamics.
+PriorityFrameOutcome evolve_priority_frame(double q0, double ah, double al,
+                                           double c, double s, double b);
+
+/// Folds per-class arrival/loss tallies into `shard` as atm.priority.*
+/// metrics (counter atm.priority.frames, sums atm.priority.high_arrived /
+/// high_lost / low_arrived / low_lost, all in cells).  Used by both
+/// run_partial_buffer_sharing and the scenario executor's priority hops.
+void record_priority_sharing(const PrioritySharingResult& result,
+                             obs::MetricsShard& shard);
 
 }  // namespace cts::atm

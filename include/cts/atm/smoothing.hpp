@@ -11,6 +11,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace cts::obs {
+class MetricsShard;
+}
+
 namespace cts::atm {
 
 /// Emission times (seconds from frame start) for `cells` cells smoothed
@@ -23,5 +27,37 @@ double smoothing_gap(std::uint64_t cells, double Ts);
 /// Number of whole cells needed to carry `payload_bytes` of AAL payload at
 /// 48 bytes per cell (ceiling division).
 std::uint64_t cells_for_payload(std::uint64_t payload_bytes);
+
+/// Multi-frame traffic shaper: emits the moving average of the last
+/// `window` frames' cell counts (fewer while the window fills), spreading
+/// bursts across frames — the inter-frame generalisation of the
+/// within-frame deterministic smoothing above.  A window of 0 or 1 passes
+/// frames through unchanged.
+///
+/// The smoother is obs-aware in the accumulate-then-reduce idiom: push()
+/// never touches a registry; flush() folds the local tallies into a
+/// MetricsShard as atm.smoothing.frames / atm.smoothing.cells_in /
+/// atm.smoothing.cells_out and resets them.
+class FrameSmoother {
+ public:
+  explicit FrameSmoother(std::size_t window);
+
+  /// Consumes one frame's cell count, returns the smoothed count.
+  double push(double frame_cells);
+
+  std::size_t window() const noexcept { return window_; }
+
+  /// Folds and resets the tallies accumulated since the last flush.
+  void flush(obs::MetricsShard& shard);
+
+ private:
+  std::size_t window_;
+  std::vector<double> ring_;
+  std::size_t pos_ = 0;
+  std::size_t filled_ = 0;
+  std::uint64_t frames_ = 0;
+  double cells_in_ = 0.0;
+  double cells_out_ = 0.0;
+};
 
 }  // namespace cts::atm

@@ -85,6 +85,60 @@ struct ReplicationResult {
   std::vector<ReplicationSample> samples;
 };
 
+/// One worker's contiguous slice [lo, hi) of global replication indices
+/// (shard i of n owns [i*R/n, (i+1)*R/n)).
+struct ShardSliceRange {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  std::size_t size() const { return hi - lo; }
+};
+
+/// Computes shard `shard_index`-of-`shard_count`'s slice of `replications`
+/// global indices.  Validates the shard layout (index < count,
+/// count <= replications) so every caller fails with the same message.
+ShardSliceRange shard_slice(std::size_t replications, std::size_t shard_index,
+                            std::size_t shard_count);
+
+/// Deterministic per-replication seed root, derived from the GLOBAL
+/// replication index only — independent of thread layout and shard layout.
+/// Seed a util::SplitMix64 with this and draw per-source seeds from it in a
+/// fixed order; that is the whole bit-identical-sharding contract.
+inline std::uint64_t replication_seed_root(std::uint64_t master_seed,
+                                           std::size_t rep) {
+  return master_seed +
+         0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(rep) + 1);
+}
+
+/// Harness-level knobs of a generic sharded replication run: everything
+/// run_replicated needs that is not specific to the fluid-mux experiment.
+/// Shared by run_replicated and the scenario executor
+/// (cts/sim/scenario_run.hpp) so both inherit the same slice math, thread
+/// pool, config-echo gauges, progress wiring, and wall-time histogram.
+struct SliceDriverConfig {
+  std::size_t replications = 1;  ///< GLOBAL replication count, all shards
+  std::uint64_t frames_per_replication = 0;
+  std::uint64_t warmup_frames = 0;
+  std::uint64_t master_seed = 0x5EEDC0DEULL;
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::string progress_label;  ///< empty = "sim"
+  bool progress = true;
+};
+
+/// Runs `body(rep, local, reporter)` for every global replication index
+/// `rep` in this worker's slice (`local` = rep - slice.lo) on a thread
+/// pool.  Handles validation, sim.* config-echo gauges/counters, the
+/// stderr progress reporter (body may tick frames on it), the per-
+/// replication "replication" trace span and sim.replication.wall_ms
+/// histogram.  Returns the slice so callers can size result arrays (call
+/// shard_slice first when sizing must happen before the run).  The body
+/// must be thread-safe across distinct `local` indices.
+ShardSliceRange run_replication_slice(
+    const SliceDriverConfig& config,
+    const std::function<void(std::size_t rep, std::size_t local,
+                             obs::ProgressReporter& reporter)>& body);
+
 /// Runs `config.replications` independent fluid-mux runs of N i.i.d. copies
 /// of `model` and aggregates the tallies.  With shard_count > 1 only this
 /// worker's slice is run (and recorded into the global ShardRecorder when

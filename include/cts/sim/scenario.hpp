@@ -1,0 +1,203 @@
+// Scenario spec files (cts.scenario.v1): networks of muxes as data.
+//
+// A scenario spec is a line-oriented text file describing sources (model
+// zoo ids or inline Gaussian models, with optional smoothing, GCRA
+// policing and AAL5 overhead), a topology of fluid multiplexer hops
+// (single, tandem, priority two-class), the replication/seed scale, and
+// output knobs.  tools/cts_scenariod parses and executes it through the
+// replication harness (cts/sim/scenario_run.hpp), so a new topology is a
+// text file, not a new bench binary.
+//
+//   cts.scenario.v1
+//   [scenario]
+//   name = tandem
+//   frames = 20000
+//   [source video]
+//   model = za:0.9
+//   count = 20
+//   [hop edge]
+//   input = video
+//   capacity = 11000
+//   buffer = 2000
+//
+// The parser is STRICT: the first non-comment line must be exactly
+// `cts.scenario.v1`, every key must be known in its section, and every
+// violation throws util::InvalidArgument naming the line number and the
+// offending key (with a did-you-mean suggestion for near-miss keys).  The
+// key tables below are the single source of truth shared by the parser
+// and the docs/scenarios.md drift gate (tests/test_scenario_docs.cpp), so
+// a key cannot be added without documenting it.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cts::sim {
+
+/// First line of every spec file.
+inline constexpr const char* kScenarioSchema = "cts.scenario.v1";
+
+/// One documented spec key: the parser's known-key list and the
+/// docs/scenarios.md reference table are both generated from these.
+struct ScenarioKeyDoc {
+  const char* key;
+  const char* value_hint;
+  const char* doc;
+};
+
+/// Keys of the [scenario] section.
+inline constexpr ScenarioKeyDoc kScenarioSectionKeys[] = {
+    {"name", "ID", "scenario name echoed into every emitted artifact"},
+    {"frames", "N", "measured frames per replication (default 20000)"},
+    {"warmup", "N", "unmeasured warmup frames per replication (default 1000)"},
+    {"replications", "N", "independent replications (default 4)"},
+    {"seed", "U64", "master seed, decimal (default 1592639710)"},
+    {"Ts", "SECS", "frame duration in seconds (default 0.04)"},
+};
+
+/// Keys of a [source NAME] section.
+inline constexpr ScenarioKeyDoc kSourceSectionKeys[] = {
+    {"model", "ID",
+     "model-zoo id (za:A, vv:V, dar:A:P, l, white, ar1:PHI, farima:D, "
+     "mginf:BETA); exclusive with `kind`"},
+    {"kind", "K", "inline model kind: geometric, white, or lrd"},
+    {"mean", "CELLS", "inline model mean, cells/frame (required with kind)"},
+    {"variance", "V", "inline model variance (required with kind)"},
+    {"a", "A", "geometric ACF decay, r(k) = a^k (kind = geometric only)"},
+    {"hurst", "H", "Hurst parameter of the LRD ACF (kind = lrd only)"},
+    {"weight", "W", "LRD mixture weight in [0, 1] (kind = lrd only)"},
+    {"count", "N", "number of i.i.d. copies of this source (default 1)"},
+    {"priority", "high|low",
+     "space priority class at a threshold hop (default high)"},
+    {"smooth", "W",
+     "moving-average smoother window in frames (default 0 = off)"},
+    {"police_scr", "CELLS/S",
+     "GCRA sustainable cell rate; enables policing"},
+    {"police_bt", "SECS",
+     "GCRA burst tolerance for the SCR bucket (default 0)"},
+    {"police_pcr", "CELLS/S",
+     "peak cell rate for a dual leaky bucket (requires police_scr)"},
+    {"police_cdvt", "SECS",
+     "CDV tolerance for the PCR bucket (default 0)"},
+    {"aal5", "on|off",
+     "add AAL5 encapsulation overhead (pad + 8-byte trailer) per frame "
+     "(default off)"},
+};
+
+/// Keys of a [hop NAME] section.
+inline constexpr ScenarioKeyDoc kHopSectionKeys[] = {
+    {"input", "NAME,NAME,...",
+     "comma list of source and upstream-hop names feeding this mux"},
+    {"capacity", "CELLS",
+     "service capacity in cells/frame; exclusive with `link_mbps`"},
+    {"link_mbps", "MBPS",
+     "service capacity as a link rate in Mb/s (converted via Ts); "
+     "exclusive with `capacity`"},
+    {"buffer", "CELLS", "buffer size B in cells (required)"},
+    {"threshold", "CELLS",
+     "partial-buffer-sharing threshold S for low-priority admission "
+     "(0 <= S <= buffer); absent = single-class FIFO"},
+};
+
+/// Keys of the [output] section.
+inline constexpr ScenarioKeyDoc kOutputSectionKeys[] = {
+    {"occupancy_buckets", "N",
+     "per-hop end-of-frame occupancy histogram buckets over [0, B] "
+     "(default 16)"},
+    {"hop_trace_every", "N",
+     "record a per-hop trace row every N measured frames of replication 0 "
+     "(default 0 = no trace)"},
+};
+
+/// One section's documented key set.
+struct ScenarioSectionDoc {
+  const char* section;  ///< "scenario", "source", "hop", "output"
+  const ScenarioKeyDoc* keys;
+  std::size_t count;
+};
+
+inline constexpr ScenarioSectionDoc kScenarioSections[] = {
+    {"scenario", kScenarioSectionKeys,
+     sizeof(kScenarioSectionKeys) / sizeof(kScenarioSectionKeys[0])},
+    {"source", kSourceSectionKeys,
+     sizeof(kSourceSectionKeys) / sizeof(kSourceSectionKeys[0])},
+    {"hop", kHopSectionKeys,
+     sizeof(kHopSectionKeys) / sizeof(kHopSectionKeys[0])},
+    {"output", kOutputSectionKeys,
+     sizeof(kOutputSectionKeys) / sizeof(kOutputSectionKeys[0])},
+};
+
+/// A source's traffic model: a model-zoo id or an inline Gaussian model.
+struct ScenarioModel {
+  std::string zoo_id;  ///< non-empty = zoo model; inline fields unused
+  std::string kind;    ///< inline: "geometric", "white", "lrd"
+  double mean = 0.0;
+  double variance = 0.0;
+  double a = 0.0;       ///< geometric
+  double hurst = 0.0;   ///< lrd
+  double weight = 0.0;  ///< lrd
+};
+
+/// One [source NAME] group: `count` i.i.d. copies of one model pushed
+/// through an optional per-copy shaping pipeline (smooth -> AAL5 ->
+/// police).
+struct ScenarioSource {
+  std::string name;
+  int line = 0;  ///< section header line, for error messages
+  ScenarioModel model;
+  std::size_t count = 1;
+  bool low_priority = false;
+  std::uint64_t smooth_window = 0;  ///< frames; 0/1 = off
+  bool aal5 = false;
+  double police_scr = 0.0;   ///< cells/s; 0 = no policing
+  double police_bt = 0.0;    ///< seconds
+  double police_pcr = 0.0;   ///< cells/s; 0 = single bucket
+  double police_cdvt = 0.0;  ///< seconds
+};
+
+/// One [hop NAME] multiplexer.
+struct ScenarioHop {
+  std::string name;
+  int line = 0;
+  std::vector<std::string> inputs;  ///< source and hop names, spec order
+  double capacity_cells = 0.0;      ///< resolved (link_mbps converted)
+  double link_mbps = 0.0;           ///< as written; 0 = capacity given
+  double buffer_cells = 0.0;
+  double threshold_cells = -1.0;  ///< < 0 = single-class FIFO
+  /// Resolved input indices (filled by the parser's topology validation).
+  std::vector<std::size_t> source_inputs;  ///< indices into sources
+  std::vector<std::size_t> hop_inputs;     ///< indices into hops
+
+  bool priority() const noexcept { return threshold_cells >= 0.0; }
+};
+
+/// A parsed, validated scenario.
+struct Scenario {
+  std::string name = "scenario";
+  std::uint64_t frames = 20000;
+  std::uint64_t warmup = 1000;
+  std::size_t replications = 4;
+  std::uint64_t seed = 0x5EEDC0DEULL;
+  double Ts = 0.04;
+  std::vector<ScenarioSource> sources;
+  std::vector<ScenarioHop> hops;
+  std::size_t occupancy_buckets = 16;
+  std::uint64_t hop_trace_every = 0;
+  /// Hop indices in topological (upstream-first) order; the executor
+  /// processes each frame in this order so tandem departures feed the next
+  /// hop within the same frame.
+  std::vector<std::size_t> hop_order;
+  /// The verbatim spec text, echoed into cts.scenarioresult.v1 documents
+  /// so a shard merge can verify every partial ran the same scenario.
+  std::string text;
+};
+
+/// Parses and validates a cts.scenario.v1 spec.  Throws
+/// util::InvalidArgument on any violation, naming the line number and the
+/// offending key or name ("scenario spec line 12: ...").
+Scenario parse_scenario(const std::string& text);
+
+}  // namespace cts::sim

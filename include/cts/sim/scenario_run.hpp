@@ -1,0 +1,176 @@
+// Scenario execution: a network of fluid muxes driven by a parsed
+// cts.scenario.v1 spec (cts/sim/scenario.hpp), run through the generic
+// sharded replication driver (run_replication_slice), so --shard=i/n
+// splitting and bit-identical merging work exactly as they do for the
+// single-mux harness.
+//
+// Per replication, every source instance draws its seed from the same
+// SplitMix64 stream as run_replicated (replication_seed_root), in spec
+// order, then emits one fluid cell count per frame through its shaping
+// pipeline (smooth -> AAL5 -> police).  Hops are processed in topological
+// order each frame; a FIFO hop applies the single-class fluid recursion
+//
+//   lost = (w + A - C - B)^+ ,  w' = min(B, (w + A - C)^+)
+//
+// and a threshold hop applies the exact two-priority kernel
+// (atm::evolve_priority_frame).  Departures are computed as
+// w + admitted - w', an exact floating-point identity, so per-hop cell
+// conservation (arrived = departed + lost + queue growth) holds by
+// construction and is asserted by tests/test_scenario_run.cpp.
+//
+// The result serializes as a cts.scenarioresult.v1 JSON document carrying
+// only physics-derived values (no wall-clock), the verbatim spec text and
+// the shard slice, so merging n partials byte-for-byte reproduces the
+// single-process document.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cts/fit/model_zoo.hpp"
+#include "cts/sim/replication.hpp"
+#include "cts/sim/scenario.hpp"
+
+namespace cts::sim {
+
+/// Schema tag of the JSON report emitted by write_scenario_result_json.
+inline constexpr const char* kScenarioResultSchema = "cts.scenarioresult.v1";
+
+/// Schema tag of the per-hop trace document.
+inline constexpr const char* kScenarioTraceSchema = "cts.scenariotrace.v1";
+
+/// Per-hop tallies of one replication, measured frames only.  All values
+/// are exact sums of per-frame quantities, accumulated in frame order.
+struct ScenarioHopTally {
+  double arrived_high = 0.0;  ///< high-priority cells offered (all, if FIFO)
+  double arrived_low = 0.0;   ///< low-priority cells offered
+  double lost_high = 0.0;
+  double lost_low = 0.0;
+  double departed = 0.0;          ///< cells serviced downstream
+  double peak_workload = 0.0;     ///< max end-of-frame queue
+  double initial_workload = 0.0;  ///< queue when measurement started
+  double final_workload = 0.0;    ///< queue after the last measured frame
+  /// End-of-frame occupancy histogram: Scenario::occupancy_buckets equal
+  /// buckets over [0, B], counts of measured frames.
+  std::vector<std::uint64_t> occupancy;
+
+  double arrived() const { return arrived_high + arrived_low; }
+  double lost() const { return lost_high + lost_low; }
+};
+
+/// Per-source-group tallies of one replication, measured frames only.
+struct ScenarioSourceTally {
+  double offered = 0.0;  ///< cells offered downstream, post-pipeline
+  double policed = 0.0;  ///< cells discarded by the GCRA policer
+};
+
+/// One replication's raw tallies, tagged with the GLOBAL index.
+struct ScenarioRepSample {
+  std::uint64_t rep = 0;
+  std::uint64_t frames = 0;  ///< measured frames
+  std::vector<ScenarioSourceTally> sources;  ///< parallel to spec sources
+  std::vector<ScenarioHopTally> hops;        ///< parallel to spec hops
+};
+
+/// One row of the per-hop trace (replication 0, every
+/// Scenario::hop_trace_every measured frames).
+struct ScenarioTraceRow {
+  std::uint64_t frame = 0;  ///< measured-frame index
+  double workload = 0.0;    ///< end-of-frame queue
+  double arrived = 0.0;     ///< cells offered this frame
+  double lost = 0.0;        ///< cells dropped this frame
+};
+
+/// Outcome of running one worker's shard slice of a scenario.
+struct ScenarioRunResult {
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  /// Raw per-replication tallies, ascending global index.
+  std::vector<ScenarioRepSample> samples;
+  /// Per-hop trace rows (parallel to spec hops); non-empty only when
+  /// hop_trace_every > 0 and this slice contains replication 0.
+  std::vector<std::vector<ScenarioTraceRow>> traces;
+};
+
+/// Execution knobs that are not part of the spec.
+struct ScenarioRunOptions {
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+  bool progress = true;
+};
+
+/// Resolves a spec source model to the analytics + simulation bundle:
+/// zoo ids via fit::model_from_id, inline kinds to GeometricAcf + AR(1),
+/// WhiteAcf + AR(0) or ExactLrdAcf + Hosking.  Throws
+/// util::InvalidArgument on an unknown zoo id.
+fit::ModelSpec resolve_scenario_model(const ScenarioModel& model);
+
+/// Runs this worker's slice of the scenario's replications.  Sharding is
+/// bit-identical: seeds derive from the global replication index, samples
+/// are returned in ascending global order.
+ScenarioRunResult run_scenario(const Scenario& scenario,
+                               const ScenarioRunOptions& options = {});
+
+/// Analytic CTS / Bahadur-Rao prediction for one hop, where applicable.
+/// A hop qualifies only when every input is an unshaped source group (no
+/// upstream hops, no smoothing / policing / AAL5): the prediction is the
+/// heterogeneous B-R overflow probability of the aggregate population at
+/// threshold B, with critical_m the aggregate CTS.
+struct ScenarioHopAnalytic {
+  bool available = false;
+  double log10_bop = 0.0;
+  std::size_t critical_m = 0;  ///< critical time scale (frames)
+  double rate = 0.0;           ///< large-deviations rate I(c, b)
+};
+
+/// Computes the per-hop analytic predictions (parallel to spec hops).
+/// Hops that do not qualify, or whose analytic evaluation fails (e.g. an
+/// unstable aggregate), are returned with available = false.
+std::vector<ScenarioHopAnalytic> scenario_analytics(const Scenario& scenario);
+
+/// Serializes a run (or merged) result as a cts.scenarioresult.v1
+/// document: config echo, verbatim spec text, per-source and per-hop
+/// aggregates over the contained samples (CLR replication CIs, pooled
+/// CLR, occupancy histograms, analytic predictions where available), the
+/// raw per-replication tallies, and the trace block when present.  The
+/// output is deterministic: two results with equal samples serialize
+/// byte-identically.
+std::string write_scenario_result_json(const Scenario& scenario,
+                                       const ScenarioRunResult& result);
+
+/// A parsed cts.scenarioresult.v1 document (the merge input: aggregates
+/// are recomputed, not parsed).
+struct ScenarioResultDoc {
+  std::string spec_text;  ///< verbatim cts.scenario.v1 spec
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::size_t replications = 0;  ///< global count, echoed
+  std::uint64_t frames = 0;
+  std::uint64_t warmup = 0;
+  std::uint64_t seed = 0;
+  std::vector<ScenarioRepSample> samples;
+  std::vector<std::vector<ScenarioTraceRow>> traces;
+};
+
+/// Parses a cts.scenarioresult.v1 document (strict: schema tag, shard
+/// slice consistency, per-sample tally shapes).
+ScenarioResultDoc parse_scenario_result(const std::string& text);
+
+/// Merges a complete set of shard partials into the single-process
+/// document.  All partials must carry the same spec text, scale and shard
+/// count, and their slices must tile [0, replications) exactly.  The
+/// merged document is byte-identical to what a shard_count = 1 run of the
+/// same spec writes.
+std::string merge_scenario_result_json(
+    const std::vector<ScenarioResultDoc>& parts);
+
+/// Serializes the per-hop trace of `result` as a cts.scenariotrace.v1
+/// document.  Requires a non-empty trace (hop_trace_every > 0 and the
+/// slice contained replication 0).
+std::string write_scenario_trace_json(const Scenario& scenario,
+                                      const ScenarioRunResult& result);
+
+}  // namespace cts::sim

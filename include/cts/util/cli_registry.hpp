@@ -238,6 +238,30 @@ inline constexpr FlagDoc kCacdFlags[] = {
     {"help", "", "print usage and exit"},
 };
 
+/// tools/cts_scenariod (all modes: run, merge, check).
+inline constexpr FlagDoc kScenariodFlags[] = {
+    {"out", "PATH",
+     "run/merge: cts.scenarioresult.v1 output path (default "
+     "scenario_result.json)"},
+    {"hop-trace", "PATH",
+     "run/merge: also write the cts.scenariotrace.v1 per-hop trace (needs "
+     "hop_trace_every in the spec, and for run a slice containing "
+     "replication 0)"},
+    {"shard", "I/N",
+     "run: execute only replication shard I of N; the partial merges "
+     "bit-identically via `merge`"},
+    {"reps", "N", "run: override the spec's replication count"},
+    {"frames", "N", "run: override measured frames per replication"},
+    {"warmup", "N", "run: override warmup frames per replication"},
+    {"seed", "U64", "run: override the master seed (decimal)"},
+    {"threads", "N", "run: worker threads (default 0 = hardware concurrency)"},
+    {"metrics", "PATH",
+     "run: write the JSON run report (config echo + metrics registry)"},
+    {"trace", "PATH", "run: write a Chrome-trace span timeline"},
+    {"quiet", "", "suppress the stderr progress line"},
+    {"help", "", "print usage and exit"},
+};
+
 /// tools/cts_obstop.
 inline constexpr FlagDoc kObstopFlags[] = {
     {"workers", "HOST:PORT,...",
@@ -294,6 +318,8 @@ inline constexpr ToolDoc kTools[] = {
     {"cts_shardd", kShardDFlags,
      sizeof(kShardDFlags) / sizeof(kShardDFlags[0])},
     {"cts_cacd", kCacdFlags, sizeof(kCacdFlags) / sizeof(kCacdFlags[0])},
+    {"cts_scenariod", kScenariodFlags,
+     sizeof(kScenariodFlags) / sizeof(kScenariodFlags[0])},
     {"cts_obstop", kObstopFlags,
      sizeof(kObstopFlags) / sizeof(kObstopFlags[0])},
 };

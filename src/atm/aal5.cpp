@@ -1,7 +1,11 @@
 #include "cts/atm/aal5.hpp"
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 
+#include "cts/obs/metrics.hpp"
+#include "cts/obs/trace.hpp"
 #include "cts/util/error.hpp"
 
 namespace cts::atm {
@@ -40,6 +44,7 @@ std::uint64_t aal5_cells_for_payload(std::uint64_t payload_bytes) {
 
 std::vector<Cell> aal5_segment(const std::vector<std::uint8_t>& payload,
                                std::uint8_t vpi, std::uint16_t vci) {
+  CTS_TRACE_SPAN("atm.aal5.segment");
   util::require(payload.size() <= 65535,
                 "aal5_segment: CPCS-PDU payload limited to 65535 bytes");
   const std::uint64_t cells = aal5_cells_for_payload(payload.size());
@@ -60,6 +65,10 @@ std::vector<Cell> aal5_segment(const std::vector<std::uint8_t>& payload,
   pdu[t + 6] = static_cast<std::uint8_t>((crc >> 8) & 0xFF);
   pdu[t + 7] = static_cast<std::uint8_t>(crc & 0xFF);
 
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.add("atm.aal5.segmented_pdus");
+  registry.add("atm.aal5.segmented_cells", cells);
+
   std::vector<Cell> out(static_cast<std::size_t>(cells));
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i].header.vpi = vpi;
@@ -72,7 +81,9 @@ std::vector<Cell> aal5_segment(const std::vector<std::uint8_t>& payload,
   return out;
 }
 
-std::optional<std::vector<std::uint8_t>> aal5_reassemble(
+namespace {
+
+std::optional<std::vector<std::uint8_t>> reassemble_impl(
     const std::vector<Cell>& cells) {
   if (cells.empty()) return std::nullopt;
   // End-of-PDU marker must be on the last cell and only there.
@@ -100,6 +111,40 @@ std::optional<std::vector<std::uint8_t>> aal5_reassemble(
   }
   pdu.resize(length);
   return pdu;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint8_t>> aal5_reassemble(
+    const std::vector<Cell>& cells) {
+  CTS_TRACE_SPAN("atm.aal5.reassemble");
+  std::optional<std::vector<std::uint8_t>> pdu = reassemble_impl(cells);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.add(pdu ? "atm.aal5.reassembled_pdus"
+                   : "atm.aal5.reassembly_errors");
+  return pdu;
+}
+
+double Aal5Framer::add(double frame_cells) {
+  const std::uint64_t payload_cells = static_cast<std::uint64_t>(
+      std::llround(std::max(frame_cells, 0.0)));
+  if (payload_cells == 0) return 0.0;  // an empty frame sends no PDU
+  const std::uint64_t wire_cells =
+      aal5_cells_for_payload(payload_cells * kPayloadBytes);
+  ++pdus_;
+  payload_cells_ += payload_cells;
+  wire_cells_ += wire_cells;
+  return static_cast<double>(wire_cells);
+}
+
+void Aal5Framer::flush(obs::MetricsShard& shard) {
+  if (pdus_ == 0) return;
+  shard.add("atm.aal5.pdus", pdus_);
+  shard.add("atm.aal5.payload_cells", payload_cells_);
+  shard.add("atm.aal5.cells", wire_cells_);
+  pdus_ = 0;
+  payload_cells_ = 0;
+  wire_cells_ = 0;
 }
 
 }  // namespace cts::atm

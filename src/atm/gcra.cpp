@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cts/atm/smoothing.hpp"
+#include "cts/obs/metrics.hpp"
 #include "cts/util/error.hpp"
 
 namespace cts::atm {
@@ -61,6 +63,47 @@ bool DualLeakyBucket::conforms(double t) {
 void DualLeakyBucket::reset() {
   peak_.reset();
   sustainable_.reset();
+}
+
+FramePolicer::FramePolicer(double sustainable_rate, double burst_tolerance,
+                           double Ts)
+    : Ts_(Ts) {
+  util::require(sustainable_rate > 0.0,
+                "FramePolicer: sustainable rate must be > 0");
+  util::require(Ts > 0.0, "FramePolicer: Ts must be > 0");
+  single_.emplace(1.0 / sustainable_rate, burst_tolerance);
+}
+
+FramePolicer::FramePolicer(double peak_rate, double cdv_tolerance,
+                           double sustainable_rate, double burst_tolerance,
+                           double Ts)
+    : Ts_(Ts) {
+  util::require(Ts > 0.0, "FramePolicer: Ts must be > 0");
+  dual_.emplace(peak_rate, cdv_tolerance, sustainable_rate, burst_tolerance);
+}
+
+double FramePolicer::police(std::uint64_t frame_index, double frame_cells) {
+  const std::uint64_t cells = static_cast<std::uint64_t>(
+      std::llround(std::max(frame_cells, 0.0)));
+  if (cells == 0) return 0.0;
+  const double t0 = static_cast<double>(frame_index) * Ts_;
+  const double gap = smoothing_gap(cells, Ts_);
+  std::uint64_t conforming = 0;
+  for (std::uint64_t j = 0; j < cells; ++j) {
+    const double t = t0 + (static_cast<double>(j) + 0.5) * gap;
+    const bool ok = single_ ? single_->conforms(t) : dual_->conforms(t);
+    if (ok) ++conforming;
+  }
+  tally_.cells += cells;
+  tally_.nonconforming += cells - conforming;
+  return static_cast<double>(conforming);
+}
+
+void FramePolicer::flush(obs::MetricsShard& shard) {
+  if (tally_.cells == 0) return;
+  shard.add("atm.gcra.cells", tally_.cells);
+  shard.add("atm.gcra.nonconforming", tally_.nonconforming);
+  tally_ = PolicingResult{};
 }
 
 double DualLeakyBucket::max_burst_size() const {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "cts/obs/metrics.hpp"
+#include "cts/obs/trace.hpp"
 #include "cts/util/error.hpp"
 
 namespace cts::atm {
@@ -16,25 +18,17 @@ void PrioritySharingConfig::validate() const {
                 "PrioritySharingConfig: need 0 <= threshold <= buffer");
 }
 
-namespace {
-
-/// Exact within-frame fluid dynamics for the two-priority policy.
-///
-/// Rates are constant over the frame (deterministic smoothing): high fluid
-/// at rate `ah`, low fluid at rate `al`, service at rate `c` (all in
-/// cells/frame over t in [0,1]).  Low fluid is blocked while q >= S, high
-/// fluid while q >= B.  Piecewise-linear evolution with sliding modes at S
-/// (low partially admitted) and B (high partially admitted); at most a few
-/// segments per frame.
-struct FrameOutcome {
-  double q = 0.0;
-  double low_lost = 0.0;
-  double high_lost = 0.0;
-};
-
-FrameOutcome evolve_frame(double q0, double ah, double al, double c,
-                          double s, double b) {
-  FrameOutcome out;
+// Exact within-frame fluid dynamics for the two-priority policy.
+//
+// Rates are constant over the frame (deterministic smoothing): high fluid
+// at rate `ah`, low fluid at rate `al`, service at rate `c` (all in
+// cells/frame over t in [0,1]).  Low fluid is blocked while q >= S, high
+// fluid while q >= B.  Piecewise-linear evolution with sliding modes at S
+// (low partially admitted) and B (high partially admitted); at most a few
+// segments per frame.
+PriorityFrameOutcome evolve_priority_frame(double q0, double ah, double al,
+                                           double c, double s, double b) {
+  PriorityFrameOutcome out;
   double q = std::clamp(q0, 0.0, b);
   double t = 0.0;
   const double r_low = ah + al - c;  // slope while q < s (everything in)
@@ -125,12 +119,11 @@ FrameOutcome evolve_frame(double q0, double ah, double al, double c,
   return out;
 }
 
-}  // namespace
-
 PrioritySharingResult run_partial_buffer_sharing(
     std::vector<std::unique_ptr<proc::FrameSource>>& high_sources,
     std::vector<std::unique_ptr<proc::FrameSource>>& low_sources,
     const PrioritySharingConfig& config) {
+  CTS_TRACE_SPAN("atm.priority.run");
   config.validate();
   util::require(!high_sources.empty() || !low_sources.empty(),
                 "run_partial_buffer_sharing: no sources");
@@ -146,9 +139,9 @@ PrioritySharingResult run_partial_buffer_sharing(
     double low = 0.0;
     for (auto& s : low_sources) low += std::max(s->next_frame(), 0.0);
 
-    const FrameOutcome outcome =
-        evolve_frame(w, high, low, config.capacity_cells,
-                     config.threshold_cells, config.buffer_cells);
+    const PriorityFrameOutcome outcome =
+        evolve_priority_frame(w, high, low, config.capacity_cells,
+                              config.threshold_cells, config.buffer_cells);
     w = outcome.q;
     if (n >= config.warmup_frames) {
       result.high_arrived += high;
@@ -157,7 +150,22 @@ PrioritySharingResult run_partial_buffer_sharing(
       result.low_lost += outcome.low_lost;
     }
   }
+
+  // One registry merge per run (never per frame), matching the
+  // accumulate-then-reduce idiom of the obs layer.
+  obs::MetricsShard shard;
+  record_priority_sharing(result, shard);
+  obs::MetricsRegistry::global().merge(shard);
   return result;
+}
+
+void record_priority_sharing(const PrioritySharingResult& result,
+                             obs::MetricsShard& shard) {
+  shard.add("atm.priority.frames", result.frames);
+  shard.add_sum("atm.priority.high_arrived", result.high_arrived);
+  shard.add_sum("atm.priority.high_lost", result.high_lost);
+  shard.add_sum("atm.priority.low_arrived", result.low_arrived);
+  shard.add_sum("atm.priority.low_lost", result.low_lost);
 }
 
 }  // namespace cts::atm

@@ -1,12 +1,20 @@
 #include "cts/atm/smoothing.hpp"
 
+#include <algorithm>
+
 #include "cts/atm/cell.hpp"
+#include "cts/obs/metrics.hpp"
+#include "cts/obs/trace.hpp"
 #include "cts/util/error.hpp"
 
 namespace cts::atm {
 
 std::vector<double> smoothing_schedule(std::uint64_t cells, double Ts) {
+  CTS_TRACE_SPAN("atm.smoothing.schedule");
   util::require(Ts > 0.0, "smoothing_schedule: Ts must be > 0");
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.add("atm.smoothing.schedules");
+  registry.add("atm.smoothing.scheduled_cells", cells);
   std::vector<double> times;
   times.reserve(cells);
   for (std::uint64_t j = 0; j < cells; ++j) {
@@ -23,6 +31,38 @@ double smoothing_gap(std::uint64_t cells, double Ts) {
 
 std::uint64_t cells_for_payload(std::uint64_t payload_bytes) {
   return (payload_bytes + kPayloadBytes - 1) / kPayloadBytes;
+}
+
+FrameSmoother::FrameSmoother(std::size_t window)
+    : window_(std::max<std::size_t>(window, 1)), ring_(window_, 0.0) {}
+
+double FrameSmoother::push(double frame_cells) {
+  ++frames_;
+  cells_in_ += frame_cells;
+  if (window_ == 1) {
+    cells_out_ += frame_cells;
+    return frame_cells;
+  }
+  ring_[pos_] = frame_cells;
+  pos_ = (pos_ + 1) % window_;
+  if (filled_ < window_) ++filled_;
+  // Direct summation over the (small) window: no running-sum drift, so
+  // the output is bit-identical however the frames were batched.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < filled_; ++i) sum += ring_[i];
+  const double out = sum / static_cast<double>(filled_);
+  cells_out_ += out;
+  return out;
+}
+
+void FrameSmoother::flush(obs::MetricsShard& shard) {
+  if (frames_ == 0) return;
+  shard.add("atm.smoothing.frames", frames_);
+  shard.add_sum("atm.smoothing.cells_in", cells_in_);
+  shard.add_sum("atm.smoothing.cells_out", cells_out_);
+  frames_ = 0;
+  cells_in_ = 0.0;
+  cells_out_ = 0.0;
 }
 
 }  // namespace cts::atm

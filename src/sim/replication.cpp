@@ -28,32 +28,32 @@ const std::vector<double>& rep_wall_ms_edges() {
 
 }  // namespace
 
-ReplicationResult run_replicated(const fit::ModelSpec& model,
-                                 const ReplicationConfig& config) {
-  CTS_TRACE_SPAN("replication.run");
-  util::require(config.replications >= 1,
-                "run_replicated: need at least one replication");
-  util::require(config.n_sources >= 1,
-                "run_replicated: need at least one source");
-  util::require(config.shard_count >= 1,
-                "run_replicated: shard count must be >= 1");
-  util::require(config.shard_index < config.shard_count,
-                "run_replicated: shard index " +
-                    std::to_string(config.shard_index) +
-                    " out of range for " +
-                    std::to_string(config.shard_count) + " shards");
-  util::require(config.shard_count <= config.replications,
-                "run_replicated: " + std::to_string(config.shard_count) +
+ShardSliceRange shard_slice(std::size_t replications, std::size_t shard_index,
+                            std::size_t shard_count) {
+  util::require(replications >= 1,
+                "shard_slice: need at least one replication");
+  util::require(shard_count >= 1, "shard_slice: shard count must be >= 1");
+  util::require(shard_index < shard_count,
+                "shard_slice: shard index " + std::to_string(shard_index) +
+                    " out of range for " + std::to_string(shard_count) +
+                    " shards");
+  util::require(shard_count <= replications,
+                "shard_slice: " + std::to_string(shard_count) +
                     " shards need at least as many replications (got " +
-                    std::to_string(config.replications) + ")");
+                    std::to_string(replications) + ")");
+  ShardSliceRange range;
+  range.lo = replications * shard_index / shard_count;
+  range.hi = replications * (shard_index + 1) / shard_count;
+  return range;
+}
 
-  const std::size_t reps = config.replications;
-  // This worker's contiguous slice of global replication indices.
-  const std::size_t slice_lo = reps * config.shard_index / config.shard_count;
-  const std::size_t slice_hi =
-      reps * (config.shard_index + 1) / config.shard_count;
-  const std::size_t slice = slice_hi - slice_lo;
-  std::vector<FluidRunResult> per_rep(slice);
+ShardSliceRange run_replication_slice(
+    const SliceDriverConfig& config,
+    const std::function<void(std::size_t rep, std::size_t local,
+                             obs::ProgressReporter& reporter)>& body) {
+  const ShardSliceRange range =
+      shard_slice(config.replications, config.shard_index, config.shard_count);
+  const std::size_t slice = range.size();
 
   unsigned threads = config.threads;
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
@@ -94,27 +94,11 @@ ReplicationResult run_replicated(const fit::ModelSpec& model,
     while (true) {
       const std::size_t local = next_local.fetch_add(1);
       if (local >= slice) return;
-      const std::size_t rep = slice_lo + local;  // global index
-      // Deterministic per-replication seed, derived from the GLOBAL
-      // replication index — independent of thread layout and shard layout.
-      util::SplitMix64 seeder(config.master_seed +
-                              0x9E3779B97F4A7C15ULL * (rep + 1));
-      std::vector<std::unique_ptr<proc::FrameSource>> sources;
-      sources.reserve(config.n_sources);
-      for (std::size_t s = 0; s < config.n_sources; ++s) {
-        sources.push_back(model.make_source(seeder.next()));
-      }
-      FluidRunConfig run;
-      run.frames = config.frames_per_replication;
-      run.warmup_frames = config.warmup_frames;
-      run.capacity_cells = config.capacity_cells;
-      run.buffer_sizes_cells = config.buffer_sizes_cells;
-      run.bop_thresholds_cells = config.bop_thresholds_cells;
-      run.progress = &reporter;
+      const std::size_t rep = range.lo + local;  // global index
       {
         CTS_TRACE_SPAN("replication");
         const auto t0 = std::chrono::steady_clock::now();
-        per_rep[local] = FluidMux::run(sources, run);
+        body(rep, local, reporter);
         const double wall_ms =
             std::chrono::duration<double, std::milli>(
                 std::chrono::steady_clock::now() - t0)
@@ -131,10 +115,53 @@ ReplicationResult run_replicated(const fit::ModelSpec& model,
   for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
   reporter.finish();
+  return range;
+}
 
-  std::vector<ReplicationSample> samples(slice);
-  for (std::size_t local = 0; local < slice; ++local) {
-    samples[local].rep = slice_lo + local;
+ReplicationResult run_replicated(const fit::ModelSpec& model,
+                                 const ReplicationConfig& config) {
+  CTS_TRACE_SPAN("replication.run");
+  util::require(config.n_sources >= 1,
+                "run_replicated: need at least one source");
+
+  SliceDriverConfig driver;
+  driver.replications = config.replications;
+  driver.frames_per_replication = config.frames_per_replication;
+  driver.warmup_frames = config.warmup_frames;
+  driver.master_seed = config.master_seed;
+  driver.threads = config.threads;
+  driver.shard_index = config.shard_index;
+  driver.shard_count = config.shard_count;
+  driver.progress_label = config.progress_label;
+  driver.progress = config.progress;
+
+  std::vector<FluidRunResult> per_rep(
+      shard_slice(config.replications, config.shard_index, config.shard_count)
+          .size());
+  const ShardSliceRange range = run_replication_slice(
+      driver, [&](std::size_t rep, std::size_t local,
+                  obs::ProgressReporter& reporter) {
+        // Deterministic per-replication seed, derived from the GLOBAL
+        // replication index — independent of thread and shard layout.
+        util::SplitMix64 seeder(replication_seed_root(config.master_seed, rep));
+        std::vector<std::unique_ptr<proc::FrameSource>> sources;
+        sources.reserve(config.n_sources);
+        for (std::size_t s = 0; s < config.n_sources; ++s) {
+          sources.push_back(model.make_source(seeder.next()));
+        }
+        FluidRunConfig run;
+        run.frames = config.frames_per_replication;
+        run.warmup_frames = config.warmup_frames;
+        run.capacity_cells = config.capacity_cells;
+        run.buffer_sizes_cells = config.buffer_sizes_cells;
+        run.bop_thresholds_cells = config.bop_thresholds_cells;
+        run.progress = &reporter;
+        per_rep[local] = FluidMux::run(sources, run);
+      });
+
+  std::vector<ReplicationSample> samples(range.size());
+  for (std::size_t local = 0; local < range.size(); ++local) {
+    samples[local].rep = range.lo + local;
     samples[local].run = std::move(per_rep[local]);
   }
   ReplicationResult result = aggregate_replications(

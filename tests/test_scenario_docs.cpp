@@ -1,0 +1,72 @@
+// Docs-drift guard: docs/scenarios.md is the NORMATIVE reference for the
+// cts.scenario.v1 spec format, and the parser's key tables
+// (kScenarioSections in cts/sim/scenario.hpp) are the single source of
+// truth both the parser and this test read.  A key added to the parser
+// without a docs/scenarios.md entry fails here, so the spec reference
+// cannot rot silently -- the same contract test_cli_docs.cpp enforces
+// for docs/cli.md.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cts/sim/scenario.hpp"
+
+namespace sim = cts::sim;
+
+namespace {
+
+std::string scenarios_doc() {
+  std::ifstream in(std::string(CTS_DOCS_DIR) + "/scenarios.md");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ScenarioDocs, DocExistsAndNamesSchemaAndEverySection) {
+  const std::string doc = scenarios_doc();
+  ASSERT_FALSE(doc.empty()) << "docs/scenarios.md missing or unreadable";
+  EXPECT_NE(doc.find(sim::kScenarioSchema), std::string::npos)
+      << "docs/scenarios.md never names the schema tag "
+      << sim::kScenarioSchema;
+  for (const sim::ScenarioSectionDoc& section : sim::kScenarioSections) {
+    const std::string heading = std::string("### [") + section.section;
+    EXPECT_NE(doc.find(heading), std::string::npos)
+        << "docs/scenarios.md has no '" << heading
+        << "...]' section heading";
+  }
+}
+
+TEST(ScenarioDocs, EveryParserKeyIsDocumentedInItsSection) {
+  const std::string doc = scenarios_doc();
+  ASSERT_FALSE(doc.empty());
+  for (const sim::ScenarioSectionDoc& section : sim::kScenarioSections) {
+    // Keys must appear inside their own section, not just anywhere:
+    // names like `mean` could otherwise hide in another table.
+    const std::string heading = std::string("### [") + section.section;
+    const std::size_t start = doc.find(heading);
+    ASSERT_NE(start, std::string::npos) << section.section;
+    std::size_t end = doc.find("\n### ", start);
+    if (end == std::string::npos) end = doc.size();
+    const std::string body = doc.substr(start, end - start);
+    for (std::size_t i = 0; i < section.count; ++i) {
+      const std::string needle =
+          std::string("`") + section.keys[i].key + "`";
+      EXPECT_NE(body.find(needle), std::string::npos)
+          << "docs/scenarios.md section '" << section.section
+          << "' is missing key " << needle
+          << " -- update the doc to match cts/sim/scenario.hpp";
+    }
+  }
+}
+
+TEST(ScenarioDocs, ResultAndTraceSchemasAreDocumented) {
+  const std::string doc = scenarios_doc();
+  ASSERT_FALSE(doc.empty());
+  EXPECT_NE(doc.find("cts.scenarioresult.v1"), std::string::npos);
+  EXPECT_NE(doc.find("cts.scenariotrace.v1"), std::string::npos);
+}
+
+}  // namespace

@@ -54,6 +54,8 @@
 #include "cts/net/stats.hpp"
 #include "cts/obs/expfmt.hpp"
 #include "cts/obs/json.hpp"
+#include "cts/sim/scenario.hpp"
+#include "cts/sim/scenario_run.hpp"
 #include "cts/util/cli_registry.hpp"
 #include "cts/util/error.hpp"
 #include "cts/util/flags.hpp"
@@ -62,6 +64,7 @@
 namespace net = cts::net;
 namespace obs = cts::obs;
 namespace cu = cts::util;
+namespace sim = cts::sim;
 
 namespace {
 
@@ -151,6 +154,37 @@ bool validate_jsonl(const std::string& path) {
   return true;
 }
 
+/// Deep checks for schema-tagged scenario artifacts: a structurally valid
+/// JSON file that claims cts.scenarioresult.v1 / cts.scenariotrace.v1 must
+/// also satisfy that schema (spec echo reparses, rep tallies consistent,
+/// trace columns aligned).
+bool validate_scenario_schemas(const std::string& path,
+                               const std::string& text) {
+  const obs::JsonValue doc = obs::json_parse(text);
+  const obs::JsonValue* schema =
+      doc.is_object() ? doc.find("schema") : nullptr;
+  if (schema == nullptr || !schema->is_string()) return true;
+  try {
+    if (schema->as_string() == sim::kScenarioResultSchema) {
+      const sim::ScenarioResultDoc result = sim::parse_scenario_result(text);
+      (void)sim::parse_scenario(result.spec_text);  // the echo must reparse
+    } else if (schema->as_string() == sim::kScenarioTraceSchema) {
+      for (const obs::JsonValue& hop : doc.at("hops").items) {
+        const std::size_t rows = hop.at("frames").items.size();
+        cu::require(hop.at("workload").items.size() == rows &&
+                        hop.at("arrived").items.size() == rows &&
+                        hop.at("lost").items.size() == rows,
+                    "trace column lengths disagree for hop '" +
+                        hop.at("name").as_string() + "'");
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cts_obstop: %s: %s\n", path.c_str(), e.what());
+    return false;
+  }
+  return true;
+}
+
 bool validate_json(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -165,7 +199,7 @@ bool validate_json(const std::string& path) {
                  error.c_str());
     return false;
   }
-  return true;
+  return validate_scenario_schemas(path, buffer.str());
 }
 
 /// Checks one OpenMetrics 1.0 exposition with the strict validator from
