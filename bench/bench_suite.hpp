@@ -66,6 +66,8 @@ inline constexpr BenchSpec kSuite[] = {
      "Ablation: correlation cutoff sensitivity"},
     {"cacd", "bench_cacd", "analytic", true,
      "Admission service: CAC query throughput, cold vs warm cache"},
+    {"scan_sweep", "bench_scan_sweep", "analytic", true,
+     "Scan sweep: warm-started, SIMD-dispatched CTS scans"},
 };
 
 inline constexpr std::size_t kSuiteSize = sizeof(kSuite) / sizeof(kSuite[0]);

@@ -39,7 +39,10 @@ class RateFunction {
   RateFunction(std::shared_ptr<const AcfModel> acf, double mean,
                double variance, double bandwidth);
 
-  /// I(c, b) and m* for per-source buffer b >= 0 (cells).
+  /// I(c, b) and m* for per-source buffer b >= 0 (cells).  Throws
+  /// util::NumericalError when the required scan horizon (including the
+  /// initial LRD-scaling prediction, not just improvement-driven
+  /// extensions) would exceed kMaxScan.
   RateResult evaluate(double buffer_per_source) const;
 
   /// Warm-started evaluation: begins the integer scan at `m_hint` instead

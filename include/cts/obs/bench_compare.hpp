@@ -9,8 +9,14 @@
 //
 // so a 2% wobble on a noisy metric and a 20-microsecond jitter on a
 // sub-millisecond one both stay quiet, while a real slowdown trips either
-// way it manifests.  All gated metrics (wall/user/sys time, peak RSS) are
-// higher-is-worse; symmetric improvements are reported but never fail.
+// way it manifests.  All gated metrics are higher-is-worse; symmetric
+// improvements are reported but never fail.
+//
+// System CPU time is informational by default, not gating: at the
+// tens-of-milliseconds scale it measures kernel scheduling and page-cache
+// state rather than the code under test, and a real syscall storm shows
+// up in wall time anyway.  Its deltas are still computed and printed
+// (verdict "info"); pass an explicit metric list to gate on it.
 // tools/cts_benchcmp wraps this into a CLI that exits non-zero on
 // regression so CI can gate on it.
 
@@ -36,8 +42,10 @@ struct CompareOptions {
   double k_mad = 3.0;     ///< noise gate in MAD multiples
   double min_rel = 0.05;  ///< relative gate (fraction of baseline median)
   double abs_floor = 1e-4;  ///< MAD floor so zero-MAD metrics can't hair-trigger
-  std::vector<std::string> metrics = {"wall_s", "user_s", "sys_s",
-                                      "max_rss_kb"};
+  /// Metrics whose regressions fail the comparison.
+  std::vector<std::string> metrics = {"wall_s", "user_s", "max_rss_kb"};
+  /// Metrics reported for visibility but never gating (see file comment).
+  std::vector<std::string> info_metrics = {"sys_s"};
 };
 
 /// One metric compared across the two files.
@@ -51,6 +59,7 @@ struct MetricDelta {
   double rel = 0.0;  ///< (candidate - baseline) / baseline (0 when baseline 0)
   bool regression = false;
   bool improvement = false;
+  bool informational = false;  ///< from info_metrics: never gates
 };
 
 struct CompareReport {

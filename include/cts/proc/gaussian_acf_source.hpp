@@ -12,12 +12,17 @@
 //                              other convex-decay ACFs; detected and
 //                              reported otherwise).
 //
+// Both inner loops (the Durbin-Levinson inner products and the Davies-
+// Harte spectral scaling) run through the runtime-dispatched kernels in
+// cts/core/simd.hpp; results are byte-identical on every dispatch kind.
+//
 // This closes the modelling loop of the paper: measure an ACF from a
 // trace, tabulate it, and simulate a Gaussian source carrying exactly the
 // measured correlations.
 
 #pragma once
 
+#include <complex>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -53,7 +58,12 @@ class GaussianAcfHosking final : public FrameSource {
   util::Xoshiro256pp rng_;
   util::NormalSampler normal_;
   std::vector<double> phi_;
+  std::vector<double> phi_scratch_;
   std::vector<double> history_;
+  // acf_table_[k] = acf->at(k) for the lags touched so far: the recursion
+  // reads r(1..n) as a contiguous reversed vector each step, so one table
+  // lookup replaces n virtual calls.
+  std::vector<double> acf_table_;
   double prediction_variance_ = 1.0;
 };
 
@@ -74,6 +84,7 @@ class GaussianAcfDaviesHarte final : public FrameSource {
   std::string name() const override;
 
   std::size_t block_length() const noexcept { return block_len_; }
+  double tolerance() const noexcept { return tolerance_; }
 
  private:
   void refill();
@@ -82,9 +93,17 @@ class GaussianAcfDaviesHarte final : public FrameSource {
   double mean_;
   double variance_;
   std::size_t block_len_;
+  double tolerance_;
   util::Xoshiro256pp rng_;
   util::NormalSampler normal_;
   std::vector<double> eigenvalues_;
+  // Spectral scale factors hoisted out of refill(): sqrt(lambda_0),
+  // sqrt(lambda_n), and scale_[k-1] = sqrt(lambda_k / 2) for 1 <= k < n.
+  double sqrt_ev0_ = 0.0;
+  double sqrt_evn_ = 0.0;
+  std::vector<double> scale_;
+  std::vector<double> normals_;
+  std::vector<std::complex<double>> spectrum_;
   std::vector<double> block_;
   std::size_t pos_ = 0;
 };

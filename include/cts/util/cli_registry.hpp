@@ -297,6 +297,7 @@ inline constexpr EnvDoc kEnvVars[] = {
     {"REPRO_SHARD", "run only replication shard I/N (same as --shard)"},
     {"CTS_QUIET", "suppress the stderr progress line (same as --quiet)"},
     {"CTS_BENCH_DIR", "bench-binary directory for cts_benchd"},
+    {"CTS_SIMD", "pin the SIMD kernel tier: scalar, sse2, or avx2"},
 };
 
 /// One tool's documented surface, for the docs test.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cts/core/simd.hpp"
 #include "cts/obs/trace.hpp"
 #include "cts/util/error.hpp"
 
@@ -22,8 +23,8 @@ RateResult RateFunction::evaluate(double buffer_per_source) const {
 RateResult RateFunction::evaluate(double buffer_per_source,
                                   std::size_t m_hint) const {
   // One span per buffer point (tens per curve), not per scanned m — the
-  // inner loop below runs up to kMaxScan iterations and must stay
-  // allocation-free.
+  // windowed scan below covers up to kMaxScan lags and must stay
+  // allocation-free beyond the shared V(m) table growth.
   CTS_TRACE_SPAN("rate_fn.scan");
   util::require(buffer_per_source >= 0.0,
                 "RateFunction::evaluate: buffer must be >= 0");
@@ -31,12 +32,6 @@ RateResult RateFunction::evaluate(double buffer_per_source,
                 "RateFunction::evaluate: m_hint must be in [1, kMaxScan]");
   const double b = buffer_per_source;
   const double drift = bandwidth_ - mean_;
-
-  auto objective = [&](std::size_t m) {
-    const double md = static_cast<double>(m);
-    const double numerator = b + md * drift;
-    return numerator * numerator / (2.0 * growth_.at(m));
-  };
 
   // Guaranteed-coverage scan horizon: the worst-case CTS scaling over all
   // H < 1 handled in practice (H <= 0.98) plus a generous multiplicative
@@ -48,33 +43,58 @@ RateResult RateFunction::evaluate(double buffer_per_source,
   constexpr double kScanMargin = 4.0;
   const double lrd_prediction =
       kWorstCaseHurst / (1.0 - kWorstCaseHurst) * b / drift;
-  std::size_t horizon = kMinScan;
-  horizon = std::max(horizon, static_cast<std::size_t>(
-                                  std::llround(kScanMargin * lrd_prediction)));
   // A warm start deep into the scan still gets the full multiplicative
   // margin past the hint, so the stopping rule's coverage guarantee holds
-  // unchanged.
-  horizon = std::max(horizon, static_cast<std::size_t>(std::llround(
-                                  kScanMargin * static_cast<double>(m_hint))));
+  // unchanged.  The initial horizon is validated against kMaxScan in
+  // double precision BEFORE any integer conversion: for huge b/drift the
+  // old llround-first path was undefined behaviour and silently produced
+  // an unclamped scan length.
+  const double wanted =
+      std::max({static_cast<double>(kMinScan), kScanMargin * lrd_prediction,
+                kScanMargin * static_cast<double>(m_hint)});
+  if (!(wanted <= static_cast<double>(kMaxScan))) {
+    throw util::NumericalError(
+        "RateFunction: CTS scan exceeded kMaxScan; the model may have "
+        "H too close to 1 or a non-summable objective");
+  }
+  std::size_t horizon = static_cast<std::size_t>(std::llround(wanted));
 
+  growth_.ensure(horizon);
   RateResult best;
   best.critical_m = m_hint;
-  best.rate = objective(m_hint);
-  for (std::size_t m = m_hint + 1; m <= horizon; ++m) {
-    const double value = objective(m);
-    if (value < best.rate) {
-      best.rate = value;
-      best.critical_m = m;
+  {
+    const double md = static_cast<double>(m_hint);
+    const double numerator = b + md * drift;
+    best.rate = numerator * numerator * growth_.inv_table()[m_hint];
+  }
+  // Windowed scan: each window [lo, hi] is an argmin over the dispatched
+  // SIMD kernel.  Equivalent to the sequential scan-with-extension: within
+  // a window the last running-minimum update is the window argmin (strict
+  // <, lowest m on ties), improvements occur at increasing m, so the
+  // furthest horizon push — and the kMaxScan overflow check — happen at
+  // exactly the window argmin.
+  std::size_t lo = m_hint + 1;
+  while (lo <= horizon) {
+    const std::size_t hi = horizon;
+    const simd::ScanPoint point =
+        simd::scan_min(b, drift, growth_.inv_table(), lo, hi);
+    if (point.value < best.rate) {
+      best.rate = point.value;
+      best.critical_m = point.m;
       // Push the horizon whenever the minimum keeps moving outward.
       const auto extended = static_cast<std::size_t>(
-          std::llround(kScanMargin * static_cast<double>(m)));
-      horizon = std::max(horizon, extended);
-      if (horizon > kMaxScan) {
+          std::llround(kScanMargin * static_cast<double>(point.m)));
+      if (extended > kMaxScan) {
         throw util::NumericalError(
             "RateFunction: CTS scan exceeded kMaxScan; the model may have "
             "H too close to 1 or a non-summable objective");
       }
+      if (extended > horizon) {
+        horizon = extended;
+        growth_.ensure(horizon);
+      }
     }
+    lo = hi + 1;
   }
   return best;
 }

@@ -13,23 +13,29 @@ VarianceGrowth::VarianceGrowth(std::shared_ptr<const AcfModel> acf,
   util::require(variance > 0.0, "VarianceGrowth: variance must be > 0");
 }
 
-void VarianceGrowth::extend(std::size_t m) const {
-  while (s1_.size() <= m) {
-    const std::size_t i = s1_.size();  // next lag to absorb
+void VarianceGrowth::ensure(std::size_t m) const {
+  if (v_.size() > m) return;
+  v_.reserve(m + 1);
+  inv2v_.reserve(m + 1);
+  while (v_.size() <= m) {
+    const std::size_t i = v_.size();  // next lag to absorb
     const double r = acf_->at(i);
-    s1_.push_back(s1_.back() + r);
-    s2_.push_back(s2_.back() + static_cast<double>(i) * r);
+    s1_ += r;
+    s2_ += static_cast<double>(i) * r;
+    // sum_{j=1..i} (i - j) r(j) = i S1(i) - S2(i); the j = i term is zero
+    // so including it in the running sums is harmless.
+    const double id = static_cast<double>(i);
+    const double weighted = id * s1_ - s2_;
+    const double v = variance_ * (id + 2.0 * weighted);
+    v_.push_back(v);
+    inv2v_.push_back(1.0 / (2.0 * v));
   }
 }
 
 double VarianceGrowth::at(std::size_t m) const {
   util::require(m >= 1, "VarianceGrowth::at: m must be >= 1");
-  extend(m);
-  // sum_{i=1..m} (m - i) r(i) = m S1(m) - S2(m); the i = m term is zero so
-  // including it in the cached sums is harmless.
-  const double md = static_cast<double>(m);
-  const double weighted = md * s1_[m] - s2_[m];
-  return variance_ * (md + 2.0 * weighted);
+  ensure(m);
+  return v_[m];
 }
 
 double VarianceGrowth::normalized(std::size_t m) const {

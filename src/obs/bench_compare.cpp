@@ -55,35 +55,43 @@ CompareReport compare_bench_reports(const JsonValue& baseline,
     const JsonValue* cand_metrics = cand_bench->find("metrics");
     if (base_metrics == nullptr || cand_metrics == nullptr) continue;
 
-    for (const std::string& metric : options.metrics) {
-      const JsonValue* bm = base_metrics->find(metric);
-      const JsonValue* cm = cand_metrics->find(metric);
-      if (bm == nullptr || cm == nullptr) {
-        if (bm != nullptr || cm != nullptr) {
-          report.notes.push_back("metric '" + bench_name + "." + metric +
-                                 "' present in only one file");
+    for (int pass = 0; pass < 2; ++pass) {
+      const bool informational = pass == 1;
+      const std::vector<std::string>& names =
+          informational ? options.info_metrics : options.metrics;
+      for (const std::string& metric : names) {
+        const JsonValue* bm = base_metrics->find(metric);
+        const JsonValue* cm = cand_metrics->find(metric);
+        if (bm == nullptr || cm == nullptr) {
+          if (bm != nullptr || cm != nullptr) {
+            report.notes.push_back("metric '" + bench_name + "." + metric +
+                                   "' present in only one file");
+          }
+          continue;
         }
-        continue;
-      }
-      MetricDelta d;
-      d.bench = bench_name;
-      d.metric = metric;
-      d.baseline_median = bm->at("median").as_number();
-      d.candidate_median = cm->at("median").as_number();
-      d.baseline_mad = bm->at("mad").as_number();
-      d.candidate_mad = cm->at("mad").as_number();
-      const double delta = d.candidate_median - d.baseline_median;
-      d.rel = d.baseline_median != 0.0 ? delta / d.baseline_median : 0.0;
+        MetricDelta d;
+        d.bench = bench_name;
+        d.metric = metric;
+        d.informational = informational;
+        d.baseline_median = bm->at("median").as_number();
+        d.candidate_median = cm->at("median").as_number();
+        d.baseline_mad = bm->at("mad").as_number();
+        d.candidate_mad = cm->at("mad").as_number();
+        const double delta = d.candidate_median - d.baseline_median;
+        d.rel = d.baseline_median != 0.0 ? delta / d.baseline_median : 0.0;
 
-      const double noise = options.k_mad *
-                           std::max({d.baseline_mad, d.candidate_mad,
-                                     options.abs_floor});
-      const double rel_gate = options.min_rel * std::fabs(d.baseline_median);
-      const bool significant =
-          std::fabs(delta) > noise && std::fabs(delta) > rel_gate;
-      d.regression = significant && delta > 0.0;
-      d.improvement = significant && delta < 0.0;
-      report.deltas.push_back(std::move(d));
+        const double noise = options.k_mad *
+                             std::max({d.baseline_mad, d.candidate_mad,
+                                       options.abs_floor});
+        const double rel_gate =
+            options.min_rel * std::fabs(d.baseline_median);
+        const bool significant = !informational &&
+                                 std::fabs(delta) > noise &&
+                                 std::fabs(delta) > rel_gate;
+        d.regression = significant && delta > 0.0;
+        d.improvement = significant && delta < 0.0;
+        report.deltas.push_back(std::move(d));
+      }
     }
   }
 
@@ -114,8 +122,10 @@ std::string format_compare_report(const CompareReport& report) {
     table.add_row({d.bench, d.metric, util::format_sci(d.baseline_median, 4),
                    util::format_sci(d.candidate_median, 4),
                    format_rel_pct(d.rel),
-                   d.regression ? "REGRESSION"
-                                : (d.improvement ? "improvement" : "ok")});
+                   d.regression
+                       ? "REGRESSION"
+                       : (d.improvement ? "improvement"
+                                        : (d.informational ? "info" : "ok"))});
   }
   std::ostringstream os;
   os << table.render() << '\n';

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "cts/core/simd.hpp"
 #include "cts/util/error.hpp"
 #include "cts/util/fft.hpp"
 
@@ -24,27 +25,30 @@ double GaussianAcfHosking::next_frame() {
   const std::size_t n = history_.size();
   double conditional_mean = 0.0;
   if (n > 0 && n <= max_order_) {
-    const double rn = acf_->at(n);
-    double num = rn;
-    for (std::size_t k = 1; k < n; ++k) {
-      num -= phi_[k - 1] * acf_->at(n - k);
+    while (acf_table_.size() <= n) {
+      acf_table_.push_back(acf_->at(acf_table_.size()));
     }
+    const double rn = acf_table_[n];
+    // num = r(n) - sum_{k=1..n-1} phi_k r(n - k): phi forward against the
+    // ACF table reversed from lag n-1 downward.
+    const double num =
+        rn - core::simd::dot_reversed(phi_.data(), &acf_table_[n - 1], n - 1);
     const double reflection = num / prediction_variance_;
-    std::vector<double> updated(n, 0.0);
-    for (std::size_t k = 1; k < n; ++k) {
-      updated[k - 1] = phi_[k - 1] - reflection * phi_[n - 1 - k];
+    phi_scratch_.resize(n);
+    // updated_k = phi_k - reflection * phi_{n-k} for k = 1..n-1.
+    if (n >= 2) {
+      core::simd::axpy_reversed(phi_.data(), &phi_[n - 2], reflection,
+                                phi_scratch_.data(), n - 1);
     }
-    updated[n - 1] = reflection;
-    phi_ = std::move(updated);
+    phi_scratch_[n - 1] = reflection;
+    std::swap(phi_, phi_scratch_);
     prediction_variance_ *= (1.0 - reflection * reflection);
     if (prediction_variance_ < 1e-12) prediction_variance_ = 1e-12;
-    for (std::size_t k = 1; k <= n; ++k) {
-      conditional_mean += phi_[k - 1] * history_[n - k];
-    }
+    conditional_mean =
+        core::simd::dot_reversed(phi_.data(), &history_[n - 1], n);
   } else if (n > max_order_) {
-    for (std::size_t k = 1; k <= phi_.size(); ++k) {
-      conditional_mean += phi_[k - 1] * history_[n - k];
-    }
+    conditional_mean = core::simd::dot_reversed(phi_.data(), &history_[n - 1],
+                                                phi_.size());
   }
   const double x =
       conditional_mean + std::sqrt(prediction_variance_) * normal_(rng_);
@@ -69,6 +73,7 @@ GaussianAcfDaviesHarte::GaussianAcfDaviesHarte(
       mean_(mean),
       variance_(variance),
       block_len_(util::next_pow2(block_len)),
+      tolerance_(tolerance),
       rng_(seed) {
   util::require(acf_ != nullptr, "GaussianAcfDaviesHarte: acf required");
   util::require(variance > 0.0,
@@ -91,24 +96,39 @@ GaussianAcfDaviesHarte::GaussianAcfDaviesHarte(
     }
     eigenvalues_[j] = ev > 0.0 ? ev : 0.0;
   }
+  sqrt_ev0_ = std::sqrt(eigenvalues_[0]);
+  sqrt_evn_ = std::sqrt(eigenvalues_[n]);
+  scale_.resize(n >= 1 ? n - 1 : 0);
+  for (std::size_t k = 1; k < n; ++k) {
+    scale_[k - 1] = std::sqrt(eigenvalues_[k] / 2.0);
+  }
   pos_ = block_len_;
 }
 
 void GaussianAcfDaviesHarte::refill() {
   const std::size_t n = block_len_;
   const std::size_t m = 2 * n;
-  std::vector<std::complex<double>> y(m);
-  y[0] = std::sqrt(eigenvalues_[0]) * normal_(rng_);
-  y[n] = std::sqrt(eigenvalues_[n]) * normal_(rng_);
+  spectrum_.resize(m);
+  // Draw every normal for the block up front (fixed order: the two real
+  // modes, then the interleaved re/im pairs for modes 1..n-1), then apply
+  // the precomputed spectral scales as one batch kernel.
+  spectrum_[0] = sqrt_ev0_ * normal_(rng_);
+  spectrum_[n] = sqrt_evn_ * normal_(rng_);
+  normals_.resize(2 * (n - 1));
+  for (double& z : normals_) z = normal_(rng_);
+  // std::complex<double> is array-compatible with double pairs, so the
+  // kernel writes re/im in place for modes 1..n-1.
+  core::simd::scale_pairs(scale_.data(), normals_.data(),
+                          reinterpret_cast<double*>(&spectrum_[1]), n - 1);
   for (std::size_t k = 1; k < n; ++k) {
-    const double scale = std::sqrt(eigenvalues_[k] / 2.0);
-    y[k] = scale * std::complex<double>(normal_(rng_), normal_(rng_));
-    y[m - k] = std::conj(y[k]);
+    spectrum_[m - k] = std::conj(spectrum_[k]);
   }
-  util::fft(y);
+  util::fft(spectrum_);
   block_.resize(n);
   const double norm = 1.0 / std::sqrt(static_cast<double>(m));
-  for (std::size_t j = 0; j < n; ++j) block_[j] = y[j].real() * norm;
+  core::simd::scaled_real_stride2(
+      reinterpret_cast<const double*>(spectrum_.data()), norm, block_.data(),
+      n);
   pos_ = 0;
 }
 
@@ -119,8 +139,12 @@ double GaussianAcfDaviesHarte::next_frame() {
 
 std::unique_ptr<FrameSource> GaussianAcfDaviesHarte::clone(
     std::uint64_t seed) const {
+  // Pass the construction tolerance through: a clone must accept exactly
+  // the embeddings the original accepted (rebuilding with the default
+  // tolerance used to throw for ACFs admitted under a looser one).
   return std::make_unique<GaussianAcfDaviesHarte>(acf_, mean_, variance_,
-                                                  block_len_, seed);
+                                                  block_len_, seed,
+                                                  tolerance_);
 }
 
 std::string GaussianAcfDaviesHarte::name() const {

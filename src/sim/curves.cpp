@@ -1,5 +1,6 @@
 #include "cts/sim/curves.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "cts/core/large_n.hpp"
@@ -27,12 +28,24 @@ AnalyticCurve asymptotic_curve(const fit::ModelSpec& model,
   curve.buffer_ms = buffer_ms;
   curve.log10_bop.reserve(buffer_ms.size());
   curve.critical_m.reserve(buffer_ms.size());
+  // Warm-start each point's CTS scan from the previous point's m*: grids
+  // sweep b upward and m*_b is non-decreasing in b (paper Thm. 2), so the
+  // hint never skips the minimiser and the curve stays bit-identical to
+  // per-point cold scans (asserted by test_curve_bit_identity).  A
+  // non-monotone grid resets the hint, preserving correctness for
+  // arbitrary buffer lists.
+  std::size_t hint = 1;
+  double prev_b = 0.0;
   for (const double ms : buffer_ms) {
     const double total_cells = geometry.buffer_ms_to_cells(ms);
     const double b = total_cells / static_cast<double>(geometry.n_sources);
+    if (b < prev_b) hint = 1;
     const core::BopPoint point =
-        bahadur_rao ? core::br_log10_bop(rate, b, geometry.n_sources)
-                    : core::large_n_log10_bop(rate, b, geometry.n_sources);
+        bahadur_rao ? core::br_log10_bop(rate, b, geometry.n_sources, hint)
+                    : core::large_n_log10_bop(rate, b, geometry.n_sources,
+                                              hint);
+    hint = point.critical_m;
+    prev_b = b;
     curve.log10_bop.push_back(point.log10_bop);
     curve.critical_m.push_back(point.critical_m);
   }
@@ -103,7 +116,10 @@ std::vector<double> buffer_grid_ms(double lo_ms, double hi_ms,
                                 1.0 / static_cast<double>(points - 1));
   double x = lo_ms;
   for (std::size_t i = 0; i < points; ++i) {
-    grid[i] = x;
+    // pow() rounding can push the running product past hi_ms before the
+    // last point (large `points`, ratio rounded up); clamp so pinning the
+    // endpoint below cannot make the grid non-monotone.
+    grid[i] = std::min(x, hi_ms);
     x *= ratio;
   }
   grid.back() = hi_ms;

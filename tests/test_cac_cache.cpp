@@ -6,10 +6,12 @@
 #include "cts/atm/cac_cache.hpp"
 
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "cts/atm/cac.hpp"
+#include "cts/core/simd.hpp"
 #include "cts/util/error.hpp"
 
 namespace ca = cts::atm;
@@ -76,6 +78,36 @@ TEST(CacCache, WarmStartedScansAreBitIdenticalToColdScans) {
   EXPECT_EQ(stats.rate_misses, 7u);
   EXPECT_GE(stats.warm_starts, 1u);
   EXPECT_EQ(stats.rate_entries, 7u);
+}
+
+TEST(CacCache, WarmStartedScansAreBitIdenticalAcrossSimdKinds) {
+  // The daemon's cached scans run through the dispatched kernels; answers
+  // must not depend on the host's instruction set (or on the CTS_SIMD
+  // override a worker happens to run with).
+  namespace cds = cts::core::simd;
+  struct Guard {
+    ~Guard() { cds::clear_force(); }
+  } guard;
+  const cf::ModelSpec model = cf::make_za(0.9);
+  std::vector<double> reference;
+  cds::force(cds::Kind::kScalar);
+  {
+    ca::CacCache cache;
+    for (const double buffer : {500.0, 2000.0, 8000.0, 32000.0}) {
+      ca::CacProblem p = paper_problem();
+      p.buffer_cells = buffer;
+      reference.push_back(cache.log10_bop(model, p, 20));
+    }
+  }
+  cds::force(cds::best_supported());
+  ca::CacCache cache;
+  std::size_t i = 0;
+  for (const double buffer : {500.0, 2000.0, 8000.0, 32000.0}) {
+    ca::CacProblem p = paper_problem();
+    p.buffer_cells = buffer;
+    EXPECT_EQ(cache.log10_bop(model, p, 20), reference[i++])
+        << "buffer=" << buffer;
+  }
 }
 
 TEST(CacCache, AdmissibleBrMatchesDirectCallAndReusesFinalBop) {

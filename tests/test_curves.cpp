@@ -2,6 +2,7 @@
 
 #include "cts/sim/curves.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -38,6 +39,22 @@ TEST(BufferGrids, GeometricAndLinear) {
 
   EXPECT_THROW(cm::buffer_grid_ms(0.0, 10.0, 5), cu::InvalidArgument);
   EXPECT_THROW(cm::linear_grid_ms(5.0, 1.0, 5), cu::InvalidArgument);
+}
+
+TEST(BufferGrids, GeometricGridStaysMonotoneUnderUlpRounding) {
+  // Regression: pow() rounding can push the running product past hi before
+  // the final point, so pinning grid.back() = hi used to produce a
+  // NON-monotone grid (penultimate point above hi).  These constants
+  // reproduce the overshoot; the fix clamps every point at hi.
+  for (const std::size_t points : {17u, 33u}) {
+    const std::vector<double> grid =
+        cm::buffer_grid_ms(1.0, 1.0000000000000064, points);
+    ASSERT_EQ(grid.size(), points);
+    EXPECT_DOUBLE_EQ(grid.front(), 1.0);
+    EXPECT_DOUBLE_EQ(grid.back(), 1.0000000000000064);
+    EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()))
+        << "points=" << points;
+  }
 }
 
 TEST(BrCurve, MonotoneDecreasingInBuffer) {

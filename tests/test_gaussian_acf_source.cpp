@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cts/core/simd.hpp"
 #include "cts/proc/fgn.hpp"
 #include "cts/stats/acf.hpp"
 #include "cts/util/accumulator.hpp"
@@ -96,6 +97,65 @@ TEST(GaussianAcfSources, CloneDeterminism) {
   auto d = dh.clone(7);
   for (int i = 0; i < 600; ++i) {
     EXPECT_DOUBLE_EQ(c->next_frame(), d->next_frame());
+  }
+}
+
+TEST(GaussianAcfDaviesHarte, ClonePreservesEmbeddingTolerance) {
+  // Regression: clone() used to rebuild the embedding with the DEFAULT
+  // tolerance, so per-replication clones of a source admitted under a
+  // loosened tolerance threw NumericalError.  r = {1, -0.55} has circulant
+  // eigenvalue sum 1 - 2*0.55 = -0.1 < 0: embeddable only when the
+  // tolerance admits -0.1.
+  auto acf =
+      std::make_shared<cc::TabulatedAcf>(std::vector<double>{1.0, -0.55});
+  EXPECT_THROW(cp::GaussianAcfDaviesHarte(acf, 0.0, 1.0, 64, 1),
+               cu::NumericalError);  // default tolerance rejects it
+  cp::GaussianAcfDaviesHarte source(acf, 0.0, 1.0, 64, 1, 0.2);
+  EXPECT_DOUBLE_EQ(source.tolerance(), 0.2);
+  std::unique_ptr<cp::FrameSource> copy;
+  ASSERT_NO_THROW(copy = source.clone(9));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(std::isfinite(copy->next_frame()));
+  }
+}
+
+TEST(GaussianAcfSources, DispatchKindsProduceIdenticalStreams) {
+  // The batched Davies-Harte refill and the Hosking inner products run
+  // through the SIMD dispatch layer; every kind must emit the exact same
+  // frame stream.
+  namespace cds = cts::core::simd;
+  struct Guard {
+    ~Guard() { cds::clear_force(); }
+  } guard;
+  std::vector<cds::Kind> kinds{cds::Kind::kScalar};
+  if (cds::best_supported() >= cds::Kind::kSse2)
+    kinds.push_back(cds::Kind::kSse2);
+  if (cds::best_supported() >= cds::Kind::kAvx2)
+    kinds.push_back(cds::Kind::kAvx2);
+
+  auto acf = std::make_shared<cc::ExactLrdAcf>(0.85, 0.9);
+  std::vector<double> dh_ref, hosking_ref;
+  for (const cds::Kind kind : kinds) {
+    cds::force(kind);
+    cp::GaussianAcfDaviesHarte dh(acf, 500.0, 5000.0, 256, 7);
+    cp::GaussianAcfHosking hosking(acf, 500.0, 5000.0, 7, 128);
+    std::vector<double> dh_got(1024), hosking_got(512);
+    for (auto& x : dh_got) x = dh.next_frame();
+    for (auto& x : hosking_got) x = hosking.next_frame();
+    if (kind == cds::Kind::kScalar) {
+      dh_ref = dh_got;
+      hosking_ref = hosking_got;
+      continue;
+    }
+    ASSERT_EQ(dh_got.size(), dh_ref.size());
+    for (std::size_t i = 0; i < dh_got.size(); ++i) {
+      ASSERT_EQ(dh_got[i], dh_ref[i])
+          << "dh kind=" << cds::kind_name(kind) << " frame " << i;
+    }
+    for (std::size_t i = 0; i < hosking_got.size(); ++i) {
+      ASSERT_EQ(hosking_got[i], hosking_ref[i])
+          << "hosking kind=" << cds::kind_name(kind) << " frame " << i;
+    }
   }
 }
 

@@ -94,6 +94,42 @@ TEST(CompareBench, ThresholdsAreConfigurable) {
   EXPECT_TRUE(report.has_regression());
 }
 
+TEST(CompareBench, SysTimeIsInformationalByDefault) {
+  // A 10x sys_s blow-up at the tens-of-milliseconds scale is kernel noise
+  // on small benches: under default options it must be reported (verdict
+  // "info") but never gate.  Naming it in an explicit metric list restores
+  // gating.
+  auto with_sys = [](double wall, double sys) {
+    return std::string(R"({"schema":"cts.bench.v1","benches":{"fig9":)") +
+           R"({"metrics":{"wall_s":{"median":)" + std::to_string(wall) +
+           R"(,"mad":0.001},"sys_s":{"median":)" + std::to_string(sys) +
+           R"(,"mad":0.001}}}}})";
+  };
+  const obs::JsonValue baseline = obs::json_parse(with_sys(1.0, 0.01));
+  const obs::JsonValue candidate = obs::json_parse(with_sys(1.0, 0.1));
+
+  const obs::CompareReport report =
+      obs::compare_bench_reports(baseline, candidate);
+  EXPECT_FALSE(report.has_regression());
+  bool saw_sys = false;
+  for (const obs::MetricDelta& d : report.deltas) {
+    if (d.metric != "sys_s") continue;
+    saw_sys = true;
+    EXPECT_TRUE(d.informational);
+    EXPECT_FALSE(d.regression);
+    EXPECT_FALSE(d.improvement);
+    EXPECT_NEAR(d.rel, 9.0, 1e-12);
+  }
+  EXPECT_TRUE(saw_sys);
+
+  obs::CompareOptions gate_sys;
+  gate_sys.metrics = {"sys_s"};
+  gate_sys.info_metrics.clear();
+  const obs::CompareReport gated =
+      obs::compare_bench_reports(baseline, candidate, gate_sys);
+  EXPECT_TRUE(gated.has_regression());
+}
+
 TEST(CompareBench, MissingBenchesAreNotedNotFatal) {
   const std::string two_benches =
       R"({"schema":"cts.bench.v1","benches":{)"

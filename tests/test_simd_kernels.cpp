@@ -1,0 +1,246 @@
+// Unit tests for the runtime-dispatched SIMD kernels: every kernel must
+// produce byte-identical results on every kind the host supports (the
+// bit-identity contract documented in cts/core/simd.hpp).
+
+#include "cts/core/simd.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cts/util/error.hpp"
+#include "cts/util/rng.hpp"
+
+namespace cs = cts::core::simd;
+namespace cu = cts::util;
+
+namespace {
+
+/// Restores auto dispatch when a test that pins a kind exits.
+struct ForceGuard {
+  ~ForceGuard() { cs::clear_force(); }
+};
+
+std::vector<cs::Kind> supported_kinds() {
+  std::vector<cs::Kind> kinds{cs::Kind::kScalar};
+  if (cs::best_supported() >= cs::Kind::kSse2) kinds.push_back(cs::Kind::kSse2);
+  if (cs::best_supported() >= cs::Kind::kAvx2) kinds.push_back(cs::Kind::kAvx2);
+  return kinds;
+}
+
+/// Sequential reference scan: running minimum under strict <, over the
+/// reciprocal table 1/(2 V(m)) the production scan consumes.
+cs::ScanPoint reference_scan(double b, double drift,
+                             const std::vector<double>& inv2v, std::size_t lo,
+                             std::size_t hi) {
+  cs::ScanPoint best;
+  best.m = 0;
+  best.value = 0.0;
+  for (std::size_t m = lo; m <= hi; ++m) {
+    const double md = static_cast<double>(m);
+    const double num = b + md * drift;
+    const double value = num * num * inv2v[m];
+    if (best.m == 0 || value < best.value) {
+      best.value = value;
+      best.m = m;
+    }
+  }
+  return best;
+}
+
+std::vector<double> random_inv2v_table(std::size_t size, std::uint64_t seed) {
+  cu::Xoshiro256pp rng(seed);
+  std::vector<double> inv2v(size);
+  inv2v[0] = 0.0;  // unused
+  double v = 1.0;
+  for (std::size_t m = 1; m < size; ++m) {
+    v += 0.5 + rng.uniform01() * 2.0;  // V increasing, positive
+    inv2v[m] = 1.0 / (2.0 * v);
+  }
+  return inv2v;
+}
+
+}  // namespace
+
+TEST(SimdDispatch, NamesRoundTrip) {
+  for (const cs::Kind kind : supported_kinds()) {
+    EXPECT_EQ(cs::parse_kind(cs::kind_name(kind)), kind);
+  }
+}
+
+TEST(SimdDispatch, ParseRejectsUnknownKind) {
+  EXPECT_THROW(cs::parse_kind(""), cu::InvalidArgument);
+  EXPECT_THROW(cs::parse_kind("avx512"), cu::InvalidArgument);
+  EXPECT_THROW(cs::parse_kind("Scalar"), cu::InvalidArgument);
+}
+
+TEST(SimdDispatch, ForceSelectsAndClears) {
+  ForceGuard guard;
+  for (const cs::Kind kind : supported_kinds()) {
+    cs::force(kind);
+    EXPECT_EQ(cs::active(), kind);
+  }
+  cs::clear_force();
+}
+
+TEST(SimdScanMin, MatchesSequentialReferenceOnEveryKind) {
+  ForceGuard guard;
+  const std::vector<double> inv2v = random_inv2v_table(20000, 1234);
+  const double b = 400.0;
+  const double drift = 12.0;
+  // Window sizes cross the vector-width fallbacks (SSE2 < 4, AVX2 < 8) and
+  // both alignment parities of the start index.
+  for (const std::size_t lo : {1u, 2u, 3u, 7u, 64u, 1001u}) {
+    for (const std::size_t len :
+         {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 15u, 16u, 100u, 4097u, 18000u}) {
+      const std::size_t hi = std::min(lo + len - 1, inv2v.size() - 1);
+      const cs::ScanPoint ref = reference_scan(b, drift, inv2v, lo, hi);
+      for (const cs::Kind kind : supported_kinds()) {
+        cs::force(kind);
+        const cs::ScanPoint got =
+            cs::scan_min(b, drift, inv2v.data(), lo, hi);
+        EXPECT_EQ(got.m, ref.m) << cs::kind_name(kind) << " lo=" << lo
+                                << " hi=" << hi;
+        EXPECT_EQ(got.value, ref.value)
+            << cs::kind_name(kind) << " lo=" << lo << " hi=" << hi;
+      }
+    }
+  }
+}
+
+TEST(SimdScanMin, TiesResolveToLowestM) {
+  ForceGuard guard;
+  // drift = 0 and a constant reciprocal table make every objective value
+  // equal, so the argmin must come back as the window start on every kind.
+  std::vector<double> inv2v(4096, 0.25);
+  inv2v[0] = 0.0;
+  for (const cs::Kind kind : supported_kinds()) {
+    cs::force(kind);
+    for (const std::size_t lo : {1u, 5u, 9u}) {
+      const cs::ScanPoint got =
+          cs::scan_min(3.0, 0.0, inv2v.data(), lo, 4000);
+      EXPECT_EQ(got.m, lo) << cs::kind_name(kind);
+    }
+  }
+}
+
+TEST(SimdScanMin, RandomTablesAgreeAcrossKinds) {
+  ForceGuard guard;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const std::vector<double> inv2v = random_inv2v_table(5000, seed);
+    cu::Xoshiro256pp rng(seed ^ 0xABCDEF);
+    const double b = rng.uniform01() * 1000.0;
+    const double drift = 1.0 + rng.uniform01() * 40.0;
+    cs::force(cs::Kind::kScalar);
+    const cs::ScanPoint ref = cs::scan_min(b, drift, inv2v.data(), 1, 4999);
+    for (const cs::Kind kind : supported_kinds()) {
+      cs::force(kind);
+      const cs::ScanPoint got = cs::scan_min(b, drift, inv2v.data(), 1, 4999);
+      EXPECT_EQ(got.m, ref.m) << cs::kind_name(kind) << " seed=" << seed;
+      EXPECT_EQ(got.value, ref.value)
+          << cs::kind_name(kind) << " seed=" << seed;
+    }
+  }
+}
+
+TEST(SimdDotReversed, BitIdenticalAcrossKindsAndCloseToNaive) {
+  ForceGuard guard;
+  cu::Xoshiro256pp rng(99);
+  for (const std::size_t n :
+       {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 16u, 17u, 63u, 256u, 1023u}) {
+    std::vector<double> a(n), rev(n);
+    for (auto& x : a) x = rng.uniform01() * 2.0 - 1.0;
+    for (auto& x : rev) x = rng.uniform01() * 2.0 - 1.0;
+    const double* rev_last = rev.empty() ? nullptr : &rev[n - 1];
+    cs::force(cs::Kind::kScalar);
+    const double ref = cs::dot_reversed(a.data(), rev_last, n);
+    double naive = 0.0;
+    for (std::size_t j = 0; j < n; ++j) naive += a[j] * rev[n - 1 - j];
+    EXPECT_NEAR(ref, naive, 1e-12 * (1.0 + std::fabs(naive))) << "n=" << n;
+    for (const cs::Kind kind : supported_kinds()) {
+      cs::force(kind);
+      const double got = cs::dot_reversed(a.data(), rev_last, n);
+      EXPECT_EQ(got, ref) << cs::kind_name(kind) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdAxpyReversed, BitIdenticalAcrossKinds) {
+  ForceGuard guard;
+  cu::Xoshiro256pp rng(7);
+  for (const std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 8u, 13u, 64u, 255u}) {
+    std::vector<double> a(n);
+    for (auto& x : a) x = rng.uniform01() * 2.0 - 1.0;
+    const double r = rng.uniform01();
+    std::vector<double> ref(n, 0.0);
+    cs::force(cs::Kind::kScalar);
+    cs::axpy_reversed(a.data(), n > 0 ? &a[n - 1] : nullptr, r, ref.data(),
+                      n);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(ref[j], a[j] - r * a[n - 1 - j]);
+    }
+    for (const cs::Kind kind : supported_kinds()) {
+      cs::force(kind);
+      std::vector<double> out(n, 0.0);
+      cs::axpy_reversed(a.data(), n > 0 ? &a[n - 1] : nullptr, r, out.data(),
+                        n);
+      EXPECT_EQ(std::memcmp(out.data(), ref.data(), n * sizeof(double)), 0)
+          << cs::kind_name(kind) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdScalePairs, BitIdenticalAcrossKinds) {
+  ForceGuard guard;
+  cu::Xoshiro256pp rng(21);
+  for (const std::size_t n : {0u, 1u, 2u, 3u, 4u, 7u, 8u, 31u, 128u, 511u}) {
+    std::vector<double> s(n), z(2 * n);
+    for (auto& x : s) x = rng.uniform01() * 3.0;
+    for (auto& x : z) x = rng.uniform01() * 2.0 - 1.0;
+    std::vector<double> ref(2 * n, 0.0);
+    cs::force(cs::Kind::kScalar);
+    cs::scale_pairs(s.data(), z.data(), ref.data(), n);
+    for (const cs::Kind kind : supported_kinds()) {
+      cs::force(kind);
+      std::vector<double> out(2 * n, 0.0);
+      cs::scale_pairs(s.data(), z.data(), out.data(), n);
+      EXPECT_EQ(
+          std::memcmp(out.data(), ref.data(), 2 * n * sizeof(double)), 0)
+          << cs::kind_name(kind) << " n=" << n;
+    }
+    // In-place use (out aliases z), as the Davies-Harte refill does.
+    for (const cs::Kind kind : supported_kinds()) {
+      cs::force(kind);
+      std::vector<double> inplace = z;
+      cs::scale_pairs(s.data(), inplace.data(), inplace.data(), n);
+      EXPECT_EQ(
+          std::memcmp(inplace.data(), ref.data(), 2 * n * sizeof(double)), 0)
+          << cs::kind_name(kind) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdScaledRealStride2, BitIdenticalAcrossKinds) {
+  ForceGuard guard;
+  cu::Xoshiro256pp rng(42);
+  for (const std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 8u, 9u, 100u, 513u}) {
+    std::vector<double> in(2 * n);
+    for (auto& x : in) x = rng.uniform01() * 2.0 - 1.0;
+    const double norm = 1.0 / std::sqrt(1024.0);
+    std::vector<double> ref(n, 0.0);
+    cs::force(cs::Kind::kScalar);
+    cs::scaled_real_stride2(in.data(), norm, ref.data(), n);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(ref[j], in[2 * j] * norm);
+    }
+    for (const cs::Kind kind : supported_kinds()) {
+      cs::force(kind);
+      std::vector<double> out(n, 0.0);
+      cs::scaled_real_stride2(in.data(), norm, out.data(), n);
+      EXPECT_EQ(std::memcmp(out.data(), ref.data(), n * sizeof(double)), 0)
+          << cs::kind_name(kind) << " n=" << n;
+    }
+  }
+}

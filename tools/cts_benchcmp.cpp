@@ -8,6 +8,8 @@
 // baseline, 1 when at least one metric regresses beyond BOTH the k x MAD
 // noise gate and the pct%% relative gate (see cts/obs/bench_compare.hpp),
 // and 2 on usage or parse errors — so CI can gate on the exit code.
+// sys_s is reported but informational by default (verdict "info"); an
+// explicit --metrics list gates on everything it names.
 // --validate checks one file: strict RFC 8259 grammar plus the
 // cts.bench.v1 schema tag — a document with a missing or unknown schema
 // is rejected (exit 2) with a message naming what was found.
@@ -127,7 +129,10 @@ int main(int argc, char** argv) {
     options.k_mad = flags.get_double("k", options.k_mad);
     options.min_rel = flags.get_double("pct", options.min_rel * 100.0) / 100.0;
     if (flags.has("metrics")) {
+      // An explicit list gates on everything it names (including sys_s,
+      // which is informational-only by default).
       options.metrics = split_csv(flags.get_string("metrics", ""));
+      options.info_metrics.clear();
     }
 
     obs::JsonValue baseline;
